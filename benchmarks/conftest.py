@@ -1,0 +1,42 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's evaluation artifacts and
+prints the corresponding rows/series next to the paper's reported values
+(see EXPERIMENTS.md).  Scale knobs:
+
+* ``REPRO_FULL=1`` — run at the paper's full corpus sizes (slower).
+* visual artifacts (Figure 1 panels, sample pages) are written to
+  ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Uniform experiment-output formatting."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Two days of SONIC broadcasting: the Figure 4(c) dynamics.
+
+Replays the paper's workload — the 100-page Pakistani corpus re-rendered
+hourly with diurnal churn — against broadcast carousels at 10, 20 and
+40 kbps, and prints an hour-by-hour backlog strip chart.
+
+Run:  python examples/broadcast_day.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.workload import BroadcastWorkload, WorkloadConfig
+
+
+def sparkline(values: np.ndarray, width: int = 72) -> str:
+    blocks = " ._-=+*#%@"
+    step = max(1, len(values) // width)
+    sampled = values[::step][:width]
+    top = max(float(sampled.max()), 1e-9)
+    return "".join(blocks[min(int(v / top * (len(blocks) - 1)), len(blocks) - 1)] for v in sampled)
+
+
+def main() -> None:
+    print("simulating 48h of hourly re-renders over the 100-page corpus...\n")
+    for rate, n_pages in ((10_000, 100), (20_000, 100), (40_000, 100), (20_000, 200)):
+        workload = BroadcastWorkload(
+            WorkloadConfig(rate_bps=rate, n_pages=n_pages, n_hours=48)
+        )
+        res = workload.run()
+        label = f"{rate // 1000:>2}kbps N:{n_pages}"
+        print(f"{label}  peak {res.peak_backlog_mb():5.1f} MB   "
+              f"drained {res.fraction_time_empty() * 100:3.0f}% of the time")
+        print(f"         |{sparkline(res.backlog_mb)}|")
+    print("\nreading: at 10 kbps the queue never empties (broadcast-only mode);")
+    print("20/40 kbps drain overnight — and 20 kbps with N=200 saturates again.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""One FM carrier, four data lanes.
+
+The paper uses only the mono audio channel and leaves the rest of the
+baseband (Figure 2) as future work.  This example lights up all of it at
+once on a single simulated carrier:
+
+* mono 30 Hz-15 kHz ........ SONIC OFDM burst (~10 kbps class)
+* stereo L-R @ 38 kHz ...... second SONIC OFDM burst
+* RDS @ 57 kHz ............. programme schedule text (1187.5 bps)
+* DARC @ 76 kHz ............ a compressed page fragment (16 kbps)
+
+Run:  python examples/four_data_lanes.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modem import Modem
+from repro.radio import DarcChannel, RdsDecoder, RdsEncoder
+from repro.radio.fm import FmDemodulator, FmModulator
+from repro.radio.multiplex import FmMultiplexer
+from repro.util.rng import derive_rng
+
+
+def main() -> None:
+    rng = derive_rng(2024, "four-lanes")
+    modem = Modem("sonic-ofdm")
+
+    # Lane 1 + 2: two independent OFDM bursts.
+    mono_payloads = [bytes(rng.integers(0, 256, 100, dtype=np.uint8)) for _ in range(3)]
+    diff_payloads = [bytes(rng.integers(0, 256, 100, dtype=np.uint8)) for _ in range(3)]
+    mono = modem.transmit_burst(mono_payloads)
+    diff = modem.transmit_burst(diff_payloads)
+    n = max(mono.size, diff.size)
+    mono = np.pad(mono, (0, n - mono.size)) / max(np.max(np.abs(mono)), 1e-9)
+    diff = np.pad(diff, (0, n - diff.size)) / max(np.max(np.abs(diff)), 1e-9)
+
+    # Lane 3: RDS RadioText.
+    rds_wave = RdsEncoder().encode_text(0x50A1, "SONIC 93.7 NEWS AT 0800")
+
+    # Lane 4: DARC carrying a page fragment.
+    darc = DarcChannel()
+    fragment = bytes(rng.integers(0, 256, 800, dtype=np.uint8))
+    darc_wave = darc.encode(fragment)
+
+    mux = FmMultiplexer()
+    mpx = mux.compose(mono * 0.9, stereo_diff=diff * 0.9, rds=rds_wave, darc=darc_wave)
+    iq = FmModulator().modulate(mpx)
+    # A healthy RSSI: -70 dB with the -97 dB noise floor -> 27 dB CNR.
+    cnr_db = 27.0
+    noise = np.sqrt(10 ** (-cnr_db / 10) / 2) * (
+        rng.normal(size=iq.size) + 1j * rng.normal(size=iq.size)
+    )
+    mpx_rx = FmDemodulator().demodulate(iq + noise)
+
+    mono_rx = mux.extract_mono(mpx_rx)[:n]
+    diff_rx = mux.extract_stereo_diff(mpx_rx)[:n]
+    mono_ok = sum(f.ok for f in modem.receive(mono_rx, frames_per_burst=3))
+    diff_ok = sum(f.ok for f in modem.receive(diff_rx, frames_per_burst=3))
+    text = RdsDecoder().decode_text(mux.extract_rds_band(mpx_rx))
+    darc_out = darc.decode(mux.extract_darc_band(mpx_rx))
+
+    seconds = n / 48_000
+    total_bits = (mono_ok + diff_ok) * 800 + len(text) * 8 + (
+        len(darc_out[0]) * 8 if darc_out else 0
+    )
+    print(f"carrier airtime: {seconds:.2f}s at 27 dB CNR")
+    print(f"  mono lane:   {mono_ok}/3 SONIC frames")
+    print(f"  stereo lane: {diff_ok}/3 SONIC frames")
+    print(f"  RDS lane:    {text!r}")
+    print(f"  DARC lane:   {'%d bytes' % len(darc_out[0]) if darc_out else 'lost'}")
+    print(f"aggregate delivered: {total_bits / seconds / 1000:.1f} kbps "
+          f"on one FM station")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 1's three panels for any corpus page.
+
+Renders a page, delivers it as SWebp Q10, knocks out a chosen fraction
+of column frames, and writes three PPM images: intact, damaged (missing
+pixels dark), and repaired by nearest-neighbour interpolation.
+
+Run:  python examples/loss_and_recovery.py [loss_percent] [out_dir]
+      python examples/loss_and_recovery.py 20 /tmp
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import PageRenderer, SiteGenerator, SWebpCodec, simulate_column_loss
+from repro.imaging import write_ppm
+
+
+def main() -> None:
+    loss_pct = float(sys.argv[1]) if len(sys.argv) > 1 else 10.0
+    out_dir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("/tmp")
+    if not 0 <= loss_pct < 100:
+        raise SystemExit("loss percent must be in [0, 100)")
+
+    generator = SiteGenerator(seed=42)
+    url = generator.websites()[0].landing_url
+    rendered = PageRenderer(width=1080, max_height=2_400).render(
+        generator.page(url, hour=0)
+    )
+    codec = SWebpCodec(quality=10)
+    delivered = codec.decode(codec.encode(rendered.image))
+
+    sim = simulate_column_loss(delivered, loss_pct / 100.0, seed=7)
+    paths = {
+        "intact": out_dir / "sonic_fig1_left.ppm",
+        "damaged": out_dir / "sonic_fig1_center.ppm",
+        "repaired": out_dir / "sonic_fig1_right.ppm",
+    }
+    write_ppm(paths["intact"], sim.original)
+    write_ppm(paths["damaged"], sim.damaged)
+    write_ppm(paths["repaired"], sim.interpolated)
+
+    print(f"page: {url} ({delivered.shape[0]}x{delivered.shape[1]})")
+    print(f"frame loss: {sim.frame_loss_rate * 100:.1f}% "
+          f"-> {sim.pixel_loss_rate * 100:.1f}% of pixels missing")
+    print(f"damaged:  PSNR {sim.psnr_damaged():6.1f} dB  SSIM {sim.ssim_damaged():.3f}")
+    print(f"repaired: PSNR {sim.psnr_interpolated():6.1f} dB  SSIM {sim.ssim_interpolated():.3f}")
+    for label, path in paths.items():
+        print(f"  {label:9} -> {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Datacasting on the RDS subcarrier — the RevCast/MSN-Direct lane.
+
+Section 2 of the paper surveys systems that push data through FM's
+57 kHz Radio Data System subcarrier (1187.5 bps) while the audio program
+plays undisturbed.  This example broadcasts a text bulletin over the
+full simulated FM chain — RDS groups + a SONIC modem burst sharing the
+same multiplex — and decodes both at the receiver.
+
+Run:  python examples/rds_datacast.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modem import Modem
+from repro.radio import FmRadioLink, RdsDecoder, RdsEncoder
+
+
+def main() -> None:
+    bulletin = "SONIC SCHEDULE: NEWS 0800 CRICKET 0930 WEATHER 1100"
+    print(f"bulletin ({len(bulletin)} chars): {bulletin!r}")
+
+    # The mono program: a SONIC modem burst (webpage data over sound).
+    modem = Modem("sonic-ofdm")
+    rng = np.random.default_rng(3)
+    payloads = [bytes(rng.integers(0, 256, 100, dtype=np.uint8)) for _ in range(3)]
+    program = modem.transmit_burst(payloads)
+
+    # The RDS sidecar rides at 57 kHz, above the audio.
+    encoder = RdsEncoder()
+    rds_wave = encoder.encode_text(pi_code=0x50A1, text=bulletin[:64])
+    airtime = rds_wave.size / 192_000
+    print(f"RDS airtime: {airtime:.2f}s at 1187.5 bps")
+
+    # Through the FM transmitter/receiver chain at a healthy RSSI.
+    link = FmRadioLink(seed=1)
+    rssi = -70.0
+    mono_rx = link.transmit(program, rssi, rds=rds_wave)
+    frames = modem.receive(mono_rx, frames_per_burst=len(payloads))
+    print(f"mono channel: {sum(f.ok for f in frames)}/{len(payloads)} "
+          f"SONIC frames decoded at {rssi:.0f} dB RSSI")
+
+    band = link.received_rds_band(program, rssi, rds_wave)
+    decoded = RdsDecoder().decode_text(band)
+    print(f"RDS channel:  {decoded!r}")
+    match = "OK" if decoded.startswith(bulletin[:40]) else "MISMATCH"
+    print(f"roundtrip: {match}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""SONIC reproduction: connect the unconnected via FM radio & SMS.
+
+A full-system Python reproduction of the CoNEXT 2024 paper: an acoustic
+OFDM modem (the Quiet-library equivalent), the FM broadcast chain, a
+WebP-class image codec, webpage rendering with click maps, the SMS
+uplink, and the SONIC server/client — plus simulation substrates that
+regenerate every figure in the paper's evaluation.
+
+Quick start::
+
+    from repro import Modem, SonicSystem
+
+    modem = Modem()                      # the paper's ~10 kbps OFDM profile
+    audio = modem.transmit_frame(bytes(100))
+    [frame] = modem.receive(audio)
+    assert frame.ok
+
+    system = SonicSystem()               # server + FM + SMS + users A/B/C
+    system.client("user-c").request_page(
+        system.generator.all_urls()[0], now=system.clock.now
+    )
+    system.run(seconds=120)
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.pipeline import simulate_column_loss
+from repro.core.system import SonicSystem
+from repro.client.client import ClientProfile, SonicClient
+from repro.imaging.codec import SWebpCodec
+from repro.modem.modem import Modem
+from repro.modem.profiles import get_profile, list_profiles
+from repro.radio.channels import AcousticChannel, FmRadioLink
+from repro.server.server import SonicServer
+from repro.web.render import PageRenderer
+from repro.web.sites import SiteGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "SonicSystem",
+    "SonicServer",
+    "SonicClient",
+    "ClientProfile",
+    "Modem",
+    "get_profile",
+    "list_profiles",
+    "SWebpCodec",
+    "AcousticChannel",
+    "FmRadioLink",
+    "PageRenderer",
+    "SiteGenerator",
+    "simulate_column_loss",
+    "__version__",
+]

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The operational face of the reproduction — what a radio station or a
+curious user would actually run:
+
+* ``profiles``             list modem profiles and their rates
+* ``corpus``               list the synthetic .pk corpus
+* ``render URL``           render a corpus page to PPM (+ click map)
+* ``encode / decode``      SWebp image compression
+* ``modem-tx / modem-rx``  bytes <-> playable WAV audio
+* ``simulate``             run the end-to-end system and report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    from repro.modem.modem import Modem
+    from repro.modem.profiles import get_profile, list_profiles
+
+    print(f"{'profile':22} {'raw PHY bps':>12} {'net bps':>10} {'band kHz':>14} {'order':>6}")
+    for name in list_profiles():
+        profile = get_profile(name)
+        cfg = profile.ofdm
+        lo = cfg.first_bin * cfg.sample_rate / cfg.fft_size / 1000
+        hi = lo + cfg.bandwidth_hz / 1000
+        print(
+            f"{name:22} {profile.raw_bit_rate():12.0f} {profile.net_bit_rate():10.0f} "
+            f"{lo:6.1f}-{hi:5.1f} {cfg.constellation_order:>6}"
+        )
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.web.sites import SiteGenerator
+
+    generator = SiteGenerator(seed=args.seed, n_sites=args.sites)
+    print(f"{'rank':>4} {'category':12} domain")
+    for site in generator.websites():
+        print(f"{site.rank:>4} {site.category:12} {site.domain}")
+    print(f"\n{len(generator.all_urls())} pages "
+          f"({args.sites} landing + {args.sites * 3} internal)")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.imaging.pnm import write_ppm
+    from repro.web.render import PageRenderer
+    from repro.web.sites import SiteGenerator
+
+    generator = SiteGenerator(seed=args.seed)
+    renderer = PageRenderer(width=args.width, max_height=args.max_height)
+    try:
+        result = renderer.render(generator.page(args.url, hour=args.hour))
+    except KeyError:
+        print(f"error: {args.url!r} is not in the corpus "
+              f"(try `python -m repro corpus`)", file=sys.stderr)
+        return 1
+    write_ppm(args.out, result.image)
+    print(f"rendered {args.url} at hour {args.hour}: "
+          f"{result.image.shape[0]}x{result.image.shape[1]} "
+          f"(full height {result.full_height}) -> {args.out}")
+    if args.clickmap:
+        with open(args.clickmap, "w") as f:
+            for region in result.clickmap:
+                f.write(f"{region.x} {region.y} {region.width} {region.height} {region.href}\n")
+        print(f"click map ({len(result.clickmap)} regions) -> {args.clickmap}")
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from repro.imaging.codec import SWebpCodec
+    from repro.imaging.pnm import read_pnm
+
+    image = read_pnm(args.input)
+    data = SWebpCodec(args.quality).encode(image)
+    Path(args.output).write_bytes(data)
+    print(f"{args.input} ({image.nbytes} B raw) -> {args.output} "
+          f"({len(data)} B, Q{args.quality}, {image.nbytes / len(data):.1f}x)")
+    return 0
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    from repro.imaging.codec import CodecError, SWebpCodec
+    from repro.imaging.pnm import write_pgm, write_ppm
+
+    try:
+        image = SWebpCodec().decode(Path(args.input).read_bytes())
+    except CodecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if image.ndim == 3:
+        write_ppm(args.output, image)
+    else:
+        write_pgm(args.output, image)
+    print(f"{args.input} -> {args.output} ({image.shape[0]}x{image.shape[1]})")
+    return 0
+
+
+def _cmd_modem_tx(args: argparse.Namespace) -> int:
+    from repro.dsp.wav import write_wav
+    from repro.modem.modem import Modem
+
+    data = Path(args.input).read_bytes()
+    modem = Modem(args.profile)
+    size = modem.frame_payload_size
+    payloads = [
+        data[i : i + size].ljust(size, b"\0") for i in range(0, len(data), size)
+    ]
+    if not payloads:
+        print("error: input file is empty", file=sys.stderr)
+        return 1
+    wave_out = modem.transmit_burst(payloads)
+    write_wav(args.output, wave_out, int(modem.profile.ofdm.sample_rate))
+    seconds = wave_out.size / modem.profile.ofdm.sample_rate
+    print(f"{len(data)} B -> {len(payloads)} frames -> {args.output} "
+          f"({seconds:.2f}s of audio at {args.profile})")
+    return 0
+
+
+def _cmd_modem_rx(args: argparse.Namespace) -> int:
+    from repro.dsp.wav import read_wav
+    from repro.modem.modem import Modem
+
+    samples, rate = read_wav(args.input)
+    modem = Modem(args.profile)
+    expected = int(modem.profile.ofdm.sample_rate)
+    if rate != expected:
+        print(f"warning: WAV is {rate} Hz, profile expects {expected} Hz",
+              file=sys.stderr)
+    frames = modem.receive(samples)
+    good = [f.payload for f in frames if f.ok]
+    if args.output:
+        Path(args.output).write_bytes(b"".join(good))
+    print(f"{len(frames)} frames detected, {len(good)} decoded "
+          f"({100 * (1 - len(good) / max(len(frames), 1)):.0f}% loss)"
+          + (f" -> {args.output}" if args.output else ""))
+    return 0 if good else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.config import SystemConfig
+    from repro.core.system import SonicSystem
+
+    system = SonicSystem(
+        SystemConfig(
+            n_sites=args.sites,
+            render_width=args.width,
+            max_pixel_height=args.max_height,
+            broadcast_rate_bps=args.rate,
+        )
+    )
+    if args.request:
+        system.client("user-c").request_page(args.request, system.clock.now)
+    system.run(seconds=args.seconds, step_s=5.0)
+
+    print(f"simulated {args.seconds:.0f}s at {args.rate / 1000:.0f} kbps, "
+          f"{len(system.generator.all_urls())} corpus pages")
+    stats = system.server.stats
+    print(f"server: {stats.renders} renders, {stats.pushes} pushes, "
+          f"{stats.requests} requests, {stats.cache_hits} cache hits")
+    for client in system.clients:
+        print(f"  {client.profile.name:8} cache {len(client.cache.urls()):3} pages, "
+              f"frame loss {client.frame_loss_rate * 100:5.1f}%, "
+              f"acks {len(client.acks)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SONIC reproduction: connect the unconnected via FM radio & SMS",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("profiles", help="list modem profiles").set_defaults(func=_cmd_profiles)
+
+    p = sub.add_parser("corpus", help="list the synthetic .pk corpus")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--sites", type=int, default=25)
+    p.set_defaults(func=_cmd_corpus)
+
+    p = sub.add_parser("render", help="render a corpus page to PPM")
+    p.add_argument("url")
+    p.add_argument("--hour", type=int, default=0)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--width", type=int, default=1080)
+    p.add_argument("--max-height", type=int, default=10_000)
+    p.add_argument("--out", default="page.ppm")
+    p.add_argument("--clickmap", default=None)
+    p.set_defaults(func=_cmd_render)
+
+    p = sub.add_parser("encode", help="compress a PPM/PGM image to SWebp")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--quality", type=int, default=10)
+    p.set_defaults(func=_cmd_encode)
+
+    p = sub.add_parser("decode", help="decompress SWebp back to PPM/PGM")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_decode)
+
+    p = sub.add_parser("modem-tx", help="encode a file as modem audio (WAV)")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--profile", default="sonic-ofdm")
+    p.set_defaults(func=_cmd_modem_tx)
+
+    p = sub.add_parser("modem-rx", help="decode modem audio (WAV) to bytes")
+    p.add_argument("input")
+    p.add_argument("--output", default=None)
+    p.add_argument("--profile", default="sonic-ofdm")
+    p.set_defaults(func=_cmd_modem_rx)
+
+    p = sub.add_parser("simulate", help="run the end-to-end system")
+    p.add_argument("--seconds", type=float, default=1_800.0)
+    p.add_argument("--rate", type=float, default=10_000.0)
+    p.add_argument("--sites", type=int, default=2)
+    p.add_argument("--width", type=int, default=360)
+    p.add_argument("--max-height", type=int, default=1_200)
+    p.add_argument("--request", default=None, help="URL for user-c to request")
+    p.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""The SONIC client (paper Section 3.1).
+
+A standalone user-space application on a low-end phone: it decodes
+webpage bundles from the FM audio downlink, keeps them in a cache with
+server-dictated expiry, shows a catalog of available pages, resolves
+clicks through click maps, and — for users who pay for SMS — requests
+missing pages over the uplink.
+"""
+
+from repro.client.cache import ClientCache
+from repro.client.catalog import Catalog, CatalogEntry
+from repro.client.browser import Browser, ClickOutcome
+from repro.client.client import SonicClient, ClientProfile
+
+__all__ = [
+    "ClientCache",
+    "Catalog",
+    "CatalogEntry",
+    "Browser",
+    "ClickOutcome",
+    "SonicClient",
+    "ClientProfile",
+]

@@ -1,0 +1,87 @@
+"""Click handling over static screenshots.
+
+"Within a webpage, a user might be interested in visiting some internal
+pages by following classic hyperlinks.  If the requested internal page
+is locally available ... the page would instantly load.  If not, an
+active uplink is required" (Section 3.1).  Interactivity is limited to
+hyperlinks (Section 3.2) — the click map resolves taps to targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.client.cache import ClientCache
+from repro.client.catalog import Catalog
+from repro.transport.bundle import PageBundle
+
+__all__ = ["ClickOutcome", "ClickResult", "Browser"]
+
+
+class ClickOutcome(Enum):
+    """What happened when the user tapped the screen."""
+
+    NO_TARGET = "no-target"  # tap outside any click region
+    CACHE_HIT = "cache-hit"  # target page loads instantly
+    NEEDS_UPLINK = "needs-uplink"  # target missing; SMS request required
+
+
+@dataclass(frozen=True)
+class ClickResult:
+    outcome: ClickOutcome
+    href: str | None = None
+    bundle: PageBundle | None = None
+
+
+class Browser:
+    """Navigation state of the client app."""
+
+    def __init__(self, cache: ClientCache, scale_factor: float = 1.0) -> None:
+        if scale_factor <= 0:
+            raise ValueError("scale factor must be positive")
+        self._cache = cache
+        self.catalog = Catalog(cache)
+        self.scale_factor = scale_factor
+        self.current: PageBundle | None = None
+        self.history: list[str] = []
+
+    def open(self, url: str, now: float) -> PageBundle | None:
+        """Open a page from cache; records the view."""
+        bundle = self._cache.get(url, now)
+        if bundle is None:
+            return None
+        self.current = bundle
+        self.history.append(url)
+        self.catalog.record_view(url)
+        return bundle
+
+    def click(self, x: int, y: int, now: float) -> ClickResult:
+        """Resolve a tap at *device* coordinates on the current page.
+
+        Device coordinates are divided by the scaling factor before the
+        click-map lookup, mirroring how the client app scales both the
+        image and the map (Section 3.2).
+        """
+        if self.current is None:
+            return ClickResult(ClickOutcome.NO_TARGET)
+        # The map stored in the bundle is in source-image coordinates.
+        map_x = int(x / self.scale_factor)
+        map_y = int(y / self.scale_factor)
+        href = self.current.clickmap.hit_test(map_x, map_y)
+        if href is None:
+            return ClickResult(ClickOutcome.NO_TARGET)
+        bundle = self._cache.get(href, now)
+        if bundle is not None:
+            self.current = bundle
+            self.history.append(href)
+            self.catalog.record_view(href)
+            return ClickResult(ClickOutcome.CACHE_HIT, href, bundle)
+        return ClickResult(ClickOutcome.NEEDS_UPLINK, href)
+
+    def back(self, now: float) -> PageBundle | None:
+        """Return to the previous page if it is still cached."""
+        if len(self.history) < 2:
+            return None
+        self.history.pop()
+        return self.open(self.history.pop(), now)

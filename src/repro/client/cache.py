@@ -1,0 +1,66 @@
+"""Client-side page cache.
+
+"When the webpage is received, it is inserted in a cache with expiration
+date set according to a time indicated by the server." (Section 3.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.transport.bundle import PageBundle
+
+__all__ = ["ClientCache"]
+
+
+@dataclass
+class _Entry:
+    bundle: PageBundle
+    received_at: float
+
+    def fresh(self, now: float) -> bool:
+        return now - self.received_at < self.bundle.expiry_hours * 3600.0
+
+
+class ClientCache:
+    """Bounded cache honouring the server-advertised expiry."""
+
+    def __init__(self, capacity: int = 50) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: dict[str, _Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    def put(self, bundle: PageBundle, now: float) -> None:
+        if len(self._entries) >= self.capacity and bundle.url not in self._entries:
+            victim = min(self._entries.values(), key=lambda e: e.received_at)
+            del self._entries[victim.bundle.url]
+        self._entries[bundle.url] = _Entry(bundle, now)
+
+    def get(self, url: str, now: float) -> PageBundle | None:
+        entry = self._entries.get(url)
+        if entry is None:
+            return None
+        if not entry.fresh(now):
+            del self._entries[url]
+            return None
+        return entry.bundle
+
+    def received_at(self, url: str) -> float | None:
+        entry = self._entries.get(url)
+        return entry.received_at if entry else None
+
+    def urls(self) -> list[str]:
+        return list(self._entries)
+
+    def expire(self, now: float) -> int:
+        stale = [u for u, e in self._entries.items() if not e.fresh(now)]
+        for u in stale:
+            del self._entries[u]
+        return len(stale)

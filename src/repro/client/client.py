@@ -1,0 +1,217 @@
+"""The SONIC client application.
+
+Figure 3's three user classes map to :class:`ClientProfile` settings:
+
+* **User A** — nearby FM radio over the air: ``connection="air"`` with a
+  speaker-to-phone distance, no SMS.
+* **User B** — phone with an internal FM tuner: ``connection="cable"``
+  (zero air distance), no SMS.
+* **User C** — radio via audio jack *and* an SMS plan: ``connection=
+  "cable"``, ``has_sms=True`` — the only user able to request pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.client.browser import Browser
+from repro.client.cache import ClientCache
+from repro.sim.geometry import Location
+from repro.sms.gateway import SmsGateway
+from repro.sms.message import SmsMessage
+from repro.sms.protocol import (
+    PageRequest,
+    RequestAck,
+    RequestError,
+    parse_downlink,
+)
+from repro.transport.bundle import BundleTransport, PageBundle
+from repro.transport.framing import Frame, FrameType
+
+__all__ = ["ClientProfile", "SonicClient"]
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """Hardware and subscription capabilities of one user."""
+
+    name: str
+    location: Location
+    connection: str = "cable"  # "cable" (tuner/jack) or "air"
+    distance_m: float = 0.0  # speaker-to-mic gap when connection="air"
+    has_sms: bool = False
+    phone_number: str = ""
+    screen_width: int = 360  # low-end device; source images are 1080
+
+    def __post_init__(self) -> None:
+        if self.connection not in ("cable", "air"):
+            raise ValueError("connection must be 'cable' or 'air'")
+        if self.has_sms and not self.phone_number:
+            raise ValueError("an SMS-capable client needs a phone number")
+
+    @property
+    def scale_factor(self) -> float:
+        """Image/click-map scaling factor (Section 3.2)."""
+        return self.screen_width / 1080.0
+
+
+class SonicClient:
+    """Receives broadcasts, maintains the cache, issues requests."""
+
+    def __init__(
+        self,
+        profile: ClientProfile,
+        gateway: SmsGateway | None = None,
+        server_number: str | None = None,
+        cache_capacity: int = 50,
+    ) -> None:
+        self.profile = profile
+        self.cache = ClientCache(capacity=cache_capacity)
+        self.browser = Browser(self.cache, scale_factor=profile.scale_factor)
+        self._gateway = gateway
+        self._server_number = server_number
+        self._transport = BundleTransport()
+        # Keyed by (page_id, version): chunks of different renders of the
+        # same page must never mix.
+        self._partial: dict[tuple[int, int], dict[int, Frame]] = {}
+        self.pending_requests: dict[str, float] = {}  # url -> request time
+        self.acks: list[RequestAck] = []
+        self.errors: list[RequestError] = []
+        self.upcoming: dict[str, "CatalogEntryInfo"] = {}  # from announcements
+        self._catalog_frames: dict[int, Frame] = {}
+        self.frames_seen = 0
+        self.frames_lost = 0
+        if gateway is not None and profile.has_sms:
+            gateway.register(profile.phone_number, self._on_sms)
+
+    # -- downlink ------------------------------------------------------------
+
+    def on_frames(
+        self, frames: list[Frame | None], now: float
+    ) -> list[PageBundle]:
+        """Ingest a received frame batch; None entries are lost frames.
+
+        Returns bundles completed by this batch (already cached).  Gaps
+        persist across batches, so later carousel cycles can fill them.
+        """
+        completed: list[PageBundle] = []
+        for frame in frames:
+            self.frames_seen += 1
+            if frame is None:
+                self.frames_lost += 1
+                continue
+            if frame.header.frame_type == FrameType.METADATA:
+                self._ingest_catalog_frame(frame)
+                continue
+            if frame.header.frame_type != FrameType.BUNDLE_BYTES:
+                continue
+            key = (frame.header.page_id, frame.header.col)
+            slots = self._partial.setdefault(key, {})
+            slots[frame.header.seq] = frame
+            if len(slots) == frame.header.total:
+                data = self._transport.reassemble(list(slots.values()))
+                if data is not None:
+                    bundle = PageBundle.from_bytes(data)
+                    self.cache.put(bundle, now)
+                    self.pending_requests.pop(bundle.url, None)
+                    self.upcoming.pop(bundle.url, None)
+                    completed.append(bundle)
+                    del self._partial[key]
+                    # Older partial versions of this page are now moot.
+                    stale = [
+                        k for k in self._partial if k[0] == frame.header.page_id
+                    ]
+                    for k in stale:
+                        del self._partial[k]
+        return completed
+
+    def _ingest_catalog_frame(self, frame: Frame) -> None:
+        """Accumulate catalog announcements into the 'upcoming' view."""
+        from repro.transport.metadata import CatalogAnnouncement
+
+        if self._catalog_frames:
+            stored_total = next(iter(self._catalog_frames.values())).header.total
+            if frame.header.total != stored_total:
+                self._catalog_frames.clear()  # a new announcement started
+        self._catalog_frames[frame.header.seq] = frame
+        announcement = CatalogAnnouncement.from_frames(
+            list(self._catalog_frames.values())
+        )
+        if announcement is None:
+            return
+        self._catalog_frames.clear()
+        for entry in announcement.entries:
+            self.upcoming[entry.url] = entry
+
+    def reception_progress(self, page_id: int) -> float:
+        """Best reception fraction across in-flight versions of a page."""
+        best = 0.0
+        for (pid, _version), slots in self._partial.items():
+            if pid != page_id or not slots:
+                continue
+            total = next(iter(slots.values())).header.total
+            best = max(best, len(slots) / total)
+        return best
+
+    # -- uplink ------------------------------------------------------------
+
+    def request_page(self, url: str, now: float) -> bool:
+        """Send a GET over SMS; False when this user has no uplink."""
+        if not self.profile.has_sms or self._gateway is None:
+            return False
+        if self._server_number is None:
+            raise ValueError("client has SMS but no server number configured")
+        req = PageRequest(url, self.profile.location.lat, self.profile.location.lon)
+        message = SmsMessage(
+            self.profile.phone_number, self._server_number, req.to_text(), now
+        )
+        accepted = self._gateway.submit(message, now)
+        if accepted:
+            self.pending_requests[url] = now
+        return accepted
+
+    def search(self, query: str, now: float) -> bool:
+        """Send a FIND query over SMS ("queries to search engines",
+        Section 3.1); False when this user has no uplink."""
+        if not self.profile.has_sms or self._gateway is None:
+            return False
+        if self._server_number is None:
+            raise ValueError("client has SMS but no server number configured")
+        from repro.sms.protocol import SearchRequest
+
+        req = SearchRequest(
+            query, self.profile.location.lat, self.profile.location.lon
+        )
+        message = SmsMessage(
+            self.profile.phone_number, self._server_number, req.to_text(), now
+        )
+        return self._gateway.submit(message, now)
+
+    def _on_sms(self, message: SmsMessage, now: float) -> None:
+        try:
+            reply = parse_downlink(message.text)
+        except ValueError:
+            return
+        if isinstance(reply, RequestAck):
+            self.acks.append(reply)
+        else:
+            self.errors.append(reply)
+            self.pending_requests.pop(reply.url, None)
+
+    # -- browsing ------------------------------------------------------------
+
+    def click(self, x: int, y: int, now: float):
+        """Tap the current page; auto-request on a cache miss if able."""
+        result = self.browser.click(x, y, now)
+        from repro.client.browser import ClickOutcome
+
+        if result.outcome == ClickOutcome.NEEDS_UPLINK and result.href:
+            self.request_page(result.href, now)
+        return result
+
+    @property
+    def frame_loss_rate(self) -> float:
+        """Observed fraction of lost frames."""
+        if self.frames_seen == 0:
+            return 0.0
+        return self.frames_lost / self.frames_seen

@@ -1,0 +1,19 @@
+"""SONIC core: the end-to-end system composed from every substrate."""
+
+from repro.core.config import SystemConfig
+from repro.core.pipeline import (
+    LossSimulation,
+    page_to_waveform,
+    waveform_to_frames,
+    simulate_column_loss,
+)
+from repro.core.system import SonicSystem
+
+__all__ = [
+    "SystemConfig",
+    "SonicSystem",
+    "LossSimulation",
+    "page_to_waveform",
+    "waveform_to_frames",
+    "simulate_column_loss",
+]

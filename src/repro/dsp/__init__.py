@@ -1,0 +1,25 @@
+"""Signal-processing primitives shared by the modem and radio layers."""
+
+from repro.dsp.filters import (
+    fir_bandpass,
+    fir_lowpass,
+    filter_signal,
+    resample,
+)
+from repro.dsp.chirp import linear_chirp, matched_filter_peak
+from repro.dsp.spectrum import band_power_db, power_db, rms
+from repro.dsp.wav import read_wav, write_wav
+
+__all__ = [
+    "fir_bandpass",
+    "fir_lowpass",
+    "filter_signal",
+    "resample",
+    "linear_chirp",
+    "matched_filter_peak",
+    "band_power_db",
+    "power_db",
+    "rms",
+    "read_wav",
+    "write_wav",
+]

@@ -1,0 +1,61 @@
+"""FIR filtering and rational resampling.
+
+The FM multiplex assembles and disassembles its subcarriers with linear-
+phase FIR filters so that group delay is a known constant that the
+receiver chain can compensate exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal
+
+__all__ = ["fir_lowpass", "fir_bandpass", "filter_signal", "resample"]
+
+
+def fir_lowpass(cutoff_hz: float, sample_rate: float, num_taps: int = 127) -> np.ndarray:
+    """Design a linear-phase FIR low-pass filter (Hamming window)."""
+    if not 0 < cutoff_hz < sample_rate / 2:
+        raise ValueError(
+            f"cutoff {cutoff_hz} Hz outside (0, {sample_rate / 2}) Hz"
+        )
+    if num_taps % 2 == 0:
+        raise ValueError("num_taps must be odd for integer group delay")
+    return signal.firwin(num_taps, cutoff_hz, fs=sample_rate)
+
+
+def fir_bandpass(
+    low_hz: float, high_hz: float, sample_rate: float, num_taps: int = 255
+) -> np.ndarray:
+    """Design a linear-phase FIR band-pass filter."""
+    if not 0 < low_hz < high_hz < sample_rate / 2:
+        raise ValueError(
+            f"band [{low_hz}, {high_hz}] Hz invalid for fs={sample_rate}"
+        )
+    if num_taps % 2 == 0:
+        raise ValueError("num_taps must be odd for integer group delay")
+    return signal.firwin(num_taps, [low_hz, high_hz], fs=sample_rate, pass_zero=False)
+
+
+def filter_signal(taps: np.ndarray, x: np.ndarray, compensate_delay: bool = True) -> np.ndarray:
+    """Apply an FIR filter, optionally removing its group delay.
+
+    With ``compensate_delay`` the output is time-aligned with the input
+    and has the same length, which keeps sample indices meaningful across
+    the whole transmit/receive chain.
+    """
+    taps = np.asarray(taps, dtype=np.float64)
+    y = signal.fftconvolve(x, taps, mode="full")
+    if not compensate_delay:
+        return y[: x.size]
+    delay = (taps.size - 1) // 2
+    return y[delay : delay + x.size]
+
+
+def resample(x: np.ndarray, up: int, down: int) -> np.ndarray:
+    """Rational-ratio polyphase resampling (anti-aliased)."""
+    if up < 1 or down < 1:
+        raise ValueError("up and down factors must be >= 1")
+    if up == down:
+        return np.asarray(x, dtype=np.float64).copy()
+    return signal.resample_poly(x, up, down)

@@ -1,0 +1,49 @@
+"""Power and band-power measurement helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rms", "power_db", "band_power_db", "snr_db"]
+
+
+def rms(x: np.ndarray) -> float:
+    """Root-mean-square amplitude of a signal."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(x * x)))
+
+
+def power_db(x: np.ndarray, floor_db: float = -200.0) -> float:
+    """Mean signal power in dB (relative to unit power)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        return floor_db
+    p = float(np.mean(x * x))
+    if p <= 10 ** (floor_db / 10):
+        return floor_db
+    return 10.0 * np.log10(p)
+
+
+def band_power_db(
+    x: np.ndarray, sample_rate: float, low_hz: float, high_hz: float
+) -> float:
+    """Power within a frequency band, in dB, via the periodogram."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0 or not 0 <= low_hz < high_hz <= sample_rate / 2:
+        raise ValueError("invalid band or empty signal")
+    spectrum = np.fft.rfft(x)
+    freqs = np.fft.rfftfreq(x.size, d=1.0 / sample_rate)
+    mask = (freqs >= low_hz) & (freqs <= high_hz)
+    # Parseval: total power = sum |X|^2 / N^2 (one-sided doubling ignored
+    # consistently, so band ratios remain correct).
+    p = float(np.sum(np.abs(spectrum[mask]) ** 2) / (x.size**2))
+    if p <= 1e-20:
+        return -200.0
+    return 10.0 * np.log10(p)
+
+
+def snr_db(signal_power_db: float, noise_power_db: float) -> float:
+    """Signal-to-noise ratio from two power measurements in dB."""
+    return signal_power_db - noise_power_db

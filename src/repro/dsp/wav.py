@@ -1,0 +1,45 @@
+"""16-bit PCM WAV input/output (stdlib-only).
+
+The modem operates on float waveforms in [-1, 1]; these helpers move
+them in and out of ordinary mono WAV files so transmissions can actually
+be played through a sound card or inspected in an audio editor.
+"""
+
+from __future__ import annotations
+
+import wave
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_wav", "read_wav"]
+
+
+def write_wav(path: str | Path, samples: np.ndarray, sample_rate: int = 48_000) -> None:
+    """Write a mono float waveform as 16-bit PCM."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1:
+        raise ValueError("expected a mono (1-D) waveform")
+    peak = float(np.max(np.abs(samples))) if samples.size else 0.0
+    if peak > 1.0:
+        samples = samples / peak
+    pcm = np.clip(np.round(samples * 32_767.0), -32_768, 32_767).astype("<i2")
+    with wave.open(str(path), "wb") as f:
+        f.setnchannels(1)
+        f.setsampwidth(2)
+        f.setframerate(int(sample_rate))
+        f.writeframes(pcm.tobytes())
+
+
+def read_wav(path: str | Path) -> tuple[np.ndarray, int]:
+    """Read a mono 16-bit PCM WAV into a float waveform in [-1, 1]."""
+    with wave.open(str(path), "rb") as f:
+        if f.getsampwidth() != 2:
+            raise ValueError("only 16-bit PCM WAV is supported")
+        n_channels = f.getnchannels()
+        rate = f.getframerate()
+        raw = f.readframes(f.getnframes())
+    pcm = np.frombuffer(raw, dtype="<i2").astype(np.float64)
+    if n_channels > 1:
+        pcm = pcm.reshape(-1, n_channels).mean(axis=1)
+    return pcm / 32_768.0, rate

@@ -1,0 +1,27 @@
+"""Forward error correction stack.
+
+SONIC (via the Quiet library) protects each 100-byte frame with a CRC-32
+checksum, an inner convolutional code decoded with Viterbi (Quiet profile
+``v29``), and an outer Reed-Solomon code over GF(256) (Quiet profile
+``rs8``).  This package implements all three from scratch, plus the block
+interleaver that spreads RS symbols across the convolutional stream.
+"""
+
+from repro.fec.crc import crc8, crc16_ccitt, crc32_ieee
+from repro.fec.galois import GF256
+from repro.fec.reed_solomon import RSDecodeError, ReedSolomon
+from repro.fec.convolutional import ConvolutionalCode, CONV_V27, CONV_V29
+from repro.fec.interleaver import BlockInterleaver
+
+__all__ = [
+    "crc8",
+    "crc16_ccitt",
+    "crc32_ieee",
+    "GF256",
+    "ReedSolomon",
+    "RSDecodeError",
+    "ConvolutionalCode",
+    "CONV_V27",
+    "CONV_V29",
+    "BlockInterleaver",
+]

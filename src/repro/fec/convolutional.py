@@ -1,0 +1,155 @@
+"""Rate-1/n convolutional codes with a vectorised Viterbi decoder.
+
+The inner code of the SONIC frame pipeline.  Quiet's ``v27`` and ``v29``
+FEC schemes are the classic rate-1/2 convolutional codes with constraint
+length 7 (NASA polynomials 0o171/0o133) and 9 (0o753/0o561); both are
+provided here as module-level singletons.
+
+Encoding is a binary convolution; decoding runs add-compare-select over
+all ``2^(K-1)`` trellis states with numpy, supporting both hard-decision
+(bit) and soft-decision (bipolar amplitude) inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bits import pad_bits
+
+__all__ = ["ConvolutionalCode", "CONV_V27", "CONV_V29"]
+
+
+class ConvolutionalCode:
+    """A rate 1/n feed-forward convolutional code.
+
+    Parameters
+    ----------
+    constraint:
+        Constraint length K (the encoder window, including the current
+        input bit).
+    polys:
+        Generator polynomials, one per output bit, given as integers whose
+        MSB (bit K-1) taps the *current* input bit.
+    """
+
+    def __init__(self, constraint: int, polys: tuple[int, ...]) -> None:
+        if not 3 <= constraint <= 12:
+            raise ValueError(f"constraint length {constraint} out of range [3, 12]")
+        if len(polys) < 2:
+            raise ValueError("need at least two generator polynomials")
+        mask = (1 << constraint) - 1
+        if any(p <= 0 or p > mask for p in polys):
+            raise ValueError("generator polynomial does not fit constraint length")
+        self.constraint = constraint
+        self.polys = tuple(polys)
+        self.n_out = len(polys)
+        self.n_states = 1 << (constraint - 1)
+        self._build_trellis()
+
+    @property
+    def rate(self) -> float:
+        """Information bits per coded bit (ignoring the tail)."""
+        return 1.0 / self.n_out
+
+    def _build_trellis(self) -> None:
+        k = self.constraint
+        s = self.n_states
+        low_mask = (1 << (k - 2)) - 1 if k > 2 else 0
+        # For each next-state, its two predecessors and the branch outputs.
+        next_states = np.arange(s)
+        self._input_bit = (next_states >> (k - 2)).astype(np.int64)
+        low = next_states & low_mask
+        self._preds = np.stack([2 * low, 2 * low + 1], axis=1)  # (s, 2)
+
+        # branch_bits[ns, p, j] = j-th output bit on the branch preds[ns,p] -> ns
+        branch = np.zeros((s, 2, self.n_out), dtype=np.int8)
+        for ns in range(s):
+            bit = int(self._input_bit[ns])
+            for p_idx in range(2):
+                pred = int(self._preds[ns, p_idx])
+                window = (bit << (k - 1)) | pred
+                for j, poly in enumerate(self.polys):
+                    branch[ns, p_idx, j] = bin(window & poly).count("1") & 1
+        self._branch_bits = branch
+        # Bipolar form (+1 for bit 0, -1 for bit 1) for soft metrics.
+        self._branch_bipolar = (1 - 2 * branch.astype(np.float64))
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode an information bit vector, appending K-1 flush bits.
+
+        Returns ``(len(bits) + K - 1) * n_out`` coded bits, interleaved as
+        output0, output1, ... per input bit.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1 or bits.size == 0:
+            raise ValueError("expected a non-empty 1-D bit vector")
+        k = self.constraint
+        flushed = np.concatenate([bits, np.zeros(k - 1, dtype=np.uint8)])
+        outputs = []
+        for poly in self.polys:
+            taps = np.array(
+                [(poly >> (k - 1 - i)) & 1 for i in range(k)], dtype=np.uint8
+            )
+            conv = np.convolve(flushed, taps) % 2
+            outputs.append(conv[: flushed.size])
+        return np.stack(outputs, axis=1).reshape(-1).astype(np.uint8)
+
+    def coded_length(self, n_info_bits: int) -> int:
+        """Number of coded bits produced for ``n_info_bits`` inputs."""
+        return (n_info_bits + self.constraint - 1) * self.n_out
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, coded_bits: np.ndarray, n_info_bits: int) -> np.ndarray:
+        """Hard-decision Viterbi decode (input bits, 0/1)."""
+        hard = np.asarray(coded_bits, dtype=np.uint8)
+        soft = 1.0 - 2.0 * hard.astype(np.float64)
+        return self.decode_soft(soft, n_info_bits)
+
+    def decode_soft(self, soft_bits: np.ndarray, n_info_bits: int) -> np.ndarray:
+        """Soft-decision Viterbi decode.
+
+        ``soft_bits`` are bipolar amplitudes: positive values favour bit 0,
+        negative favour bit 1; magnitude expresses confidence.
+        """
+        soft = np.asarray(soft_bits, dtype=np.float64)
+        total = n_info_bits + self.constraint - 1
+        expected = total * self.n_out
+        if soft.size != expected:
+            raise ValueError(
+                f"expected {expected} coded bits for {n_info_bits} info bits, "
+                f"got {soft.size}"
+            )
+        symbols = soft.reshape(total, self.n_out)
+
+        s = self.n_states
+        metrics = np.full(s, -np.inf)
+        metrics[0] = 0.0  # encoder starts zero-filled
+        decisions = np.zeros((total, s), dtype=np.uint8)
+        preds = self._preds
+        bipolar = self._branch_bipolar  # (s, 2, n_out)
+
+        for t in range(total):
+            # Correlation branch metric: sum soft * expected_bipolar.
+            bm = bipolar @ symbols[t]  # (s, 2)
+            cand = metrics[preds] + bm  # (s, 2)
+            choice = np.argmax(cand, axis=1).astype(np.uint8)
+            metrics = cand[np.arange(s), choice]
+            decisions[t] = choice
+
+        # The flush bits force the encoder back to state 0.
+        state = 0
+        out = np.zeros(total, dtype=np.uint8)
+        for t in range(total - 1, -1, -1):
+            out[t] = self._input_bit[state]
+            state = int(preds[state, decisions[t, state]])
+        return out[:n_info_bits]
+
+
+#: Quiet's ``v27``: K=7 rate-1/2 NASA-standard code.
+CONV_V27 = ConvolutionalCode(7, (0o171, 0o133))
+
+#: Quiet's ``v29``: K=9 rate-1/2 code (the profile SONIC uses).
+CONV_V29 = ConvolutionalCode(9, (0o753, 0o561))

@@ -1,0 +1,80 @@
+"""Cyclic redundancy checks.
+
+SONIC frames carry a CRC-32 (the Quiet ``crc32`` checksum) that gates
+frame acceptance after FEC decoding: a frame whose checksum fails is a
+*lost frame* in the paper's terminology.  CRC-16-CCITT and CRC-8 are used
+by the lighter-weight control paths (SMS protocol, RDS groups).
+
+All three are table-driven implementations built here rather than taken
+from :mod:`zlib`, so that the bit conventions are explicit and testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["crc32_ieee", "crc16_ccitt", "crc8"]
+
+
+def _reflected_table(poly: int, width: int) -> np.ndarray:
+    """Build a 256-entry table for a reflected (LSB-first) CRC."""
+    mask = (1 << width) - 1
+    table = np.zeros(256, dtype=np.uint64)
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ poly
+            else:
+                crc >>= 1
+        table[byte] = crc & mask
+    return table
+
+
+def _forward_table(poly: int, width: int) -> np.ndarray:
+    """Build a 256-entry table for a non-reflected (MSB-first) CRC."""
+    mask = (1 << width) - 1
+    top = 1 << (width - 1)
+    table = np.zeros(256, dtype=np.uint64)
+    for byte in range(256):
+        crc = byte << (width - 8)
+        for _ in range(8):
+            if crc & top:
+                crc = ((crc << 1) ^ poly) & mask
+            else:
+                crc = (crc << 1) & mask
+        table[byte] = crc
+    return table
+
+
+_CRC32_TABLE = _reflected_table(0xEDB88320, 32)
+_CRC16_TABLE = _forward_table(0x1021, 16)
+_CRC8_TABLE = _forward_table(0x07, 8)
+
+
+def crc32_ieee(data: bytes | bytearray, initial: int = 0) -> int:
+    """CRC-32/IEEE-802.3 (the polynomial used by zlib and by Quiet).
+
+    ``initial`` allows incremental computation over chunked input:
+    ``crc32_ieee(b, crc32_ieee(a)) == crc32_ieee(a + b)``.
+    """
+    crc = (initial ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    for byte in bytes(data):
+        crc = int(_CRC32_TABLE[(crc ^ byte) & 0xFF]) ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def crc16_ccitt(data: bytes | bytearray, initial: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE, MSB-first with init 0xFFFF."""
+    crc = initial & 0xFFFF
+    for byte in bytes(data):
+        crc = (int(_CRC16_TABLE[((crc >> 8) ^ byte) & 0xFF]) ^ (crc << 8)) & 0xFFFF
+    return crc
+
+
+def crc8(data: bytes | bytearray, initial: int = 0) -> int:
+    """CRC-8 with polynomial 0x07 (ATM HEC)."""
+    crc = initial & 0xFF
+    for byte in bytes(data):
+        crc = int(_CRC8_TABLE[crc ^ byte]) & 0xFF
+    return crc

@@ -1,0 +1,47 @@
+"""Block interleaving.
+
+Viterbi decoding turns channel noise into short *bursts* of byte errors,
+which would quickly exhaust a Reed-Solomon block's correction budget if
+they landed consecutively.  Writing symbols into a rows x cols matrix and
+reading it out column-wise spreads any burst of up to ``rows`` symbols
+across different RS codewords.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BlockInterleaver"]
+
+
+class BlockInterleaver:
+    """A rows x cols block interleaver over arbitrary numpy vectors."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("rows and cols must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def size(self) -> int:
+        """Number of elements per interleaving block."""
+        return self.rows * self.cols
+
+    def interleave(self, values: np.ndarray) -> np.ndarray:
+        """Permute ``values`` (length must equal :attr:`size`)."""
+        values = np.asarray(values)
+        if values.size != self.size:
+            raise ValueError(
+                f"expected {self.size} elements, got {values.size}"
+            )
+        return values.reshape(self.rows, self.cols).T.reshape(-1)
+
+    def deinterleave(self, values: np.ndarray) -> np.ndarray:
+        """Invert :meth:`interleave`."""
+        values = np.asarray(values)
+        if values.size != self.size:
+            raise ValueError(
+                f"expected {self.size} elements, got {values.size}"
+            )
+        return values.reshape(self.cols, self.rows).T.reshape(-1)

@@ -1,0 +1,361 @@
+"""SWebp: a from-scratch block-DCT lossy image codec.
+
+Stands in for WebP in the reproduction (see DESIGN.md): same rate-quality
+mechanism (transform coding with quality-scaled quantisation and entropy
+coding) and the same 0-95 quality scale the paper sweeps in Figure 4(b).
+
+Pipeline: RGB -> YCbCr -> 4:2:0 chroma subsampling -> 8x8 DCT ->
+quality-scaled quantisation -> zig-zag + run-length tokens -> per-plane
+canonical Huffman tables.  Encoding is fully vectorised; decoding is a
+sequential token walk with a 16-bit peek table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import fft as sfft
+
+from repro.imaging.color import (
+    downsample_420,
+    rgb_to_ycbcr,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+from repro.imaging.huffman import (
+    BitReader,
+    CanonicalHuffman,
+    build_code_lengths,
+    pack_fields,
+)
+
+__all__ = ["SWebpCodec", "CodecError"]
+
+_MAGIC = b"SWBP"
+
+# JPEG Annex K reference quantisation tables.
+_LUMA_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+_CHROMA_QUANT = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def _zigzag_order() -> np.ndarray:
+    """Indices that map a flattened 8x8 block to zig-zag order."""
+    coords = [(i, j) for i in range(8) for j in range(8)]
+    coords.sort(key=lambda ij: (ij[0] + ij[1], ij[1] if (ij[0] + ij[1]) % 2 else ij[0]))
+    return np.array([i * 8 + j for i, j in coords], dtype=np.int64)
+
+
+_ZIGZAG = _zigzag_order()
+_UNZIGZAG = np.argsort(_ZIGZAG)
+_BITLEN = np.zeros(1 << 15, dtype=np.int64)
+for _v in range(1, 1 << 15):
+    _BITLEN[_v] = _v.bit_length()
+
+_ZRL = 0xF0  # sixteen zeros
+_EOB = 0x00  # end of block
+
+
+class CodecError(Exception):
+    """Raised on malformed or truncated SWebp streams."""
+
+
+def _scaled_table(base: np.ndarray, quality: int) -> np.ndarray:
+    """libjpeg-style quality scaling of a reference quantisation table."""
+    q = min(max(int(quality), 1), 100)
+    scale = 5000.0 / q if q < 50 else 200.0 - 2.0 * q
+    table = np.floor((base * scale + 50.0) / 100.0)
+    return np.clip(table, 1, 255)
+
+
+def _blockify(plane: np.ndarray) -> tuple[np.ndarray, int, int]:
+    """Pad to 8x8 multiples (edge mode) and return (blocks, rows, cols)."""
+    h, w = plane.shape
+    ph, pw = (-h) % 8, (-w) % 8
+    if ph or pw:
+        plane = np.pad(plane, ((0, ph), (0, pw)), mode="edge")
+    hh, ww = plane.shape
+    rows, cols = hh // 8, ww // 8
+    blocks = (
+        plane.reshape(rows, 8, cols, 8).transpose(0, 2, 1, 3).reshape(-1, 8, 8)
+    )
+    return blocks, rows, cols
+
+
+def _unblockify(blocks: np.ndarray, rows: int, cols: int, h: int, w: int) -> np.ndarray:
+    plane = (
+        blocks.reshape(rows, cols, 8, 8).transpose(0, 2, 1, 3).reshape(rows * 8, cols * 8)
+    )
+    return plane[:h, :w]
+
+
+class SWebpCodec:
+    """Encoder/decoder at a fixed quality setting.
+
+    >>> codec = SWebpCodec(quality=10)
+    >>> data = codec.encode(image)       # (H, W, 3) or (H, W) uint8
+    >>> restored = codec.decode(data)
+    """
+
+    def __init__(self, quality: int = 10) -> None:
+        if not 0 <= quality <= 95:
+            raise ValueError("quality must be in [0, 95] (WebP scale)")
+        self.quality = quality
+        self._qy = _scaled_table(_LUMA_QUANT, quality)
+        self._qc = _scaled_table(_CHROMA_QUANT, quality)
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, image: np.ndarray) -> bytes:
+        """Compress an (H, W, 3) colour or (H, W) grayscale uint8 image."""
+        image = np.asarray(image)
+        if image.dtype != np.uint8:
+            raise ValueError("expected a uint8 image")
+        color = image.ndim == 3
+        if color and image.shape[2] != 3:
+            raise ValueError(f"expected 3 channels, got {image.shape}")
+        if image.ndim not in (2, 3):
+            raise ValueError(f"expected 2-D or 3-D image, got shape {image.shape}")
+        h, w = image.shape[:2]
+        if not 1 <= h <= 65_535 or not 1 <= w <= 65_535:
+            raise ValueError("image dimensions must fit in 16 bits")
+
+        header = bytearray(_MAGIC)
+        header.append(1)  # version
+        header.append(1 if color else 0)
+        header += w.to_bytes(2, "big") + h.to_bytes(2, "big")
+        header.append(self.quality)
+
+        if color:
+            ycc = rgb_to_ycbcr(image)
+            planes = [
+                (ycc[..., 0], self._qy),
+                (downsample_420(ycc[..., 1]), self._qc),
+                (downsample_420(ycc[..., 2]), self._qc),
+            ]
+        else:
+            planes = [(image.astype(np.float64), self._qy)]
+
+        body = bytearray()
+        for plane, qtable in planes:
+            body += self._encode_plane(plane, qtable)
+        return bytes(header) + bytes(body)
+
+    def encoded_size(self, image: np.ndarray) -> int:
+        """Size in bytes of :meth:`encode`'s output for this image."""
+        return len(self.encode(image))
+
+    def _encode_plane(self, plane: np.ndarray, qtable: np.ndarray) -> bytes:
+        blocks, rows, cols = _blockify(plane - 128.0)
+        coeffs = sfft.dctn(blocks, axes=(1, 2), norm="ortho")
+        quant = np.round(coeffs / qtable).astype(np.int64)
+        n_blocks = quant.shape[0]
+        zz = quant.reshape(n_blocks, 64)[:, _ZIGZAG]
+
+        # --- DC tokens (differential) ---
+        dc = zz[:, 0]
+        dc_diff = np.concatenate([[dc[0]], np.diff(dc)])
+        dc_size = _BITLEN[np.minimum(np.abs(dc_diff), (1 << 15) - 1)]
+        dc_extra = np.where(dc_diff >= 0, dc_diff, dc_diff + (1 << dc_size) - 1)
+        dc_keys = np.arange(n_blocks, dtype=np.int64) * 66 * 100
+
+        # --- AC tokens ---
+        ac = zz[:, 1:]
+        nz_b, nz_c = np.nonzero(ac)
+        vals = ac[nz_b, nz_c]
+        first_in_block = np.concatenate([[True], np.diff(nz_b) != 0])
+        prev_c = np.concatenate([[0], nz_c[:-1]])
+        runs = np.where(first_in_block, nz_c, nz_c - prev_c - 1)
+        zrl_count = runs // 16
+        run_rem = runs % 16
+        sizes = _BITLEN[np.minimum(np.abs(vals), (1 << 15) - 1)]
+        if np.any(np.abs(vals) >= (1 << 15)):
+            raise CodecError("coefficient magnitude exceeds 15-bit limit")
+        ac_syms = (run_rem.astype(np.int64) << 4) | sizes
+        ac_extra = np.where(vals >= 0, vals, vals + (1 << sizes) - 1)
+        ac_keys = (nz_b * 66 + 1 + nz_c) * 100
+
+        # ZRL emissions: zrl_count[i] tokens just before symbol i.
+        zrl_parent = np.repeat(np.arange(nz_b.size), zrl_count)
+        if zrl_parent.size:
+            # j-th ZRL of its parent gets a key just below the parent's.
+            cum = np.concatenate([[0], np.cumsum(zrl_count)[:-1]])
+            j = np.arange(zrl_parent.size) - cum[zrl_parent]
+            k = zrl_count[zrl_parent]
+            zrl_keys = ac_keys[zrl_parent] - (k - j)
+        else:
+            zrl_keys = np.zeros(0, dtype=np.int64)
+
+        # EOB per block whose last nonzero is before position 62 (or empty).
+        last_nz = np.full(n_blocks, -1, dtype=np.int64)
+        last_nz[nz_b] = nz_c  # nonzeros are in order; the last write wins
+        eob_blocks = np.nonzero(last_nz < 62)[0]
+        eob_keys = (eob_blocks * 66 + 65) * 100
+
+        # --- Huffman tables ---
+        dc_freq = np.bincount(dc_size, minlength=256)
+        ac_all_syms = np.concatenate(
+            [
+                ac_syms,
+                np.full(zrl_keys.size, _ZRL, dtype=np.int64),
+                np.full(eob_keys.size, _EOB, dtype=np.int64),
+            ]
+        )
+        ac_freq = np.bincount(ac_all_syms, minlength=256)
+        dc_table = CanonicalHuffman(build_code_lengths(dc_freq))
+        ac_table = CanonicalHuffman(build_code_lengths(ac_freq))
+
+        # --- Emissions: (key, code value, code length, extra, extra length) ---
+        keys = np.concatenate([dc_keys, ac_keys, zrl_keys, eob_keys])
+        code_vals = np.concatenate(
+            [
+                dc_table.codes[dc_size],
+                ac_table.codes[ac_syms],
+                np.full(zrl_keys.size, int(ac_table.codes[_ZRL]), dtype=np.int64),
+                np.full(eob_keys.size, int(ac_table.codes[_EOB]), dtype=np.int64),
+            ]
+        ).astype(np.int64)
+        code_lens = np.concatenate(
+            [
+                dc_table.lengths[dc_size],
+                ac_table.lengths[ac_syms],
+                np.full(zrl_keys.size, int(ac_table.lengths[_ZRL]), dtype=np.int64),
+                np.full(eob_keys.size, int(ac_table.lengths[_EOB]), dtype=np.int64),
+            ]
+        ).astype(np.int64)
+        extras = np.concatenate(
+            [dc_extra, ac_extra, np.zeros(zrl_keys.size + eob_keys.size, dtype=np.int64)]
+        )
+        extra_lens = np.concatenate(
+            [dc_size, sizes, np.zeros(zrl_keys.size + eob_keys.size, dtype=np.int64)]
+        )
+
+        order = np.argsort(keys, kind="stable")
+        inter_vals = np.stack([code_vals[order], extras[order]], axis=1).reshape(-1)
+        inter_lens = np.stack([code_lens[order], extra_lens[order]], axis=1).reshape(-1)
+        payload = pack_fields(inter_vals, inter_lens)
+        total_bits = int(np.sum(inter_lens))
+
+        out = bytearray()
+        out += dc_table.serialize()
+        out += ac_table.serialize()
+        out += total_bits.to_bytes(4, "big")
+        out += payload
+        return bytes(out)
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, data: bytes) -> np.ndarray:
+        """Decompress an SWebp stream back to a uint8 image."""
+        if data[:4] != _MAGIC:
+            raise CodecError("bad magic")
+        if len(data) < 11:
+            raise CodecError("truncated header")
+        if data[4] != 1:
+            raise CodecError(f"unsupported version {data[4]}")
+        color = bool(data[5])
+        w = int.from_bytes(data[6:8], "big")
+        h = int.from_bytes(data[8:10], "big")
+        quality = data[10]
+        qy = _scaled_table(_LUMA_QUANT, quality)
+        qc = _scaled_table(_CHROMA_QUANT, quality)
+        offset = 11
+
+        if color:
+            ch, cw = -(-h // 2), -(-w // 2)
+            y, offset = self._decode_plane(data, offset, h, w, qy)
+            cb, offset = self._decode_plane(data, offset, ch, cw, qc)
+            cr, offset = self._decode_plane(data, offset, ch, cw, qc)
+            ycc = np.stack(
+                [y, upsample_420(cb, h, w), upsample_420(cr, h, w)], axis=-1
+            )
+            return ycbcr_to_rgb(ycc)
+        y, offset = self._decode_plane(data, offset, h, w, qy)
+        return np.clip(np.round(y), 0, 255).astype(np.uint8)
+
+    def _decode_plane(
+        self, data: bytes, offset: int, h: int, w: int, qtable: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        try:
+            dc_table, offset = CanonicalHuffman.deserialize(data, offset)
+            ac_table, offset = CanonicalHuffman.deserialize(data, offset)
+            total_bits = int.from_bytes(data[offset : offset + 4], "big")
+            offset += 4
+            n_bytes = -(-total_bits // 8)
+            reader = BitReader(data[offset : offset + n_bytes])
+        except (IndexError, ValueError) as exc:
+            raise CodecError("truncated stream") from exc
+
+        dc_sym, dc_len = dc_table.peek_tables
+        ac_sym, ac_len = ac_table.peek_tables
+        rows, cols = -(-h // 8), -(-w // 8)
+        n_blocks = rows * cols
+        zz = np.zeros((n_blocks, 64), dtype=np.int64)
+        prev_dc = 0
+        try:
+            for b in range(n_blocks):
+                sym = int(dc_sym[reader.peek16()])
+                if not 0 <= sym <= 15:
+                    raise CodecError("invalid DC code")
+                reader.skip(int(dc_len[reader.peek16()]))
+                diff = self._read_signed(reader, sym)
+                prev_dc += diff
+                zz[b, 0] = prev_dc
+                pos = 1
+                while pos < 64:
+                    peek = reader.peek16()
+                    sym = int(ac_sym[peek])
+                    if sym < 0:
+                        raise CodecError("invalid AC code")
+                    reader.skip(int(ac_len[peek]))
+                    if sym == _EOB:
+                        break
+                    if sym == _ZRL:
+                        pos += 16
+                        continue
+                    run, size = sym >> 4, sym & 0xF
+                    pos += run
+                    if pos >= 64:
+                        raise CodecError("AC run overflow")
+                    zz[b, pos] = self._read_signed(reader, size)
+                    pos += 1
+        except (EOFError, ValueError) as exc:
+            raise CodecError("bit stream exhausted mid-block") from exc
+
+        quant = np.zeros((n_blocks, 64), dtype=np.float64)
+        quant[:, _ZIGZAG] = zz
+        blocks = quant.reshape(-1, 8, 8) * qtable
+        pixels = sfft.idctn(blocks, axes=(1, 2), norm="ortho")
+        plane = _unblockify(pixels, rows, cols, h, w) + 128.0
+        return plane, offset + (-(-total_bits // 8))
+
+    @staticmethod
+    def _read_signed(reader: BitReader, size: int) -> int:
+        if size == 0:
+            return 0
+        bits = reader.read(size)
+        if bits < (1 << (size - 1)):
+            return bits - (1 << size) + 1
+        return bits

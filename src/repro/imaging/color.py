@@ -1,0 +1,54 @@
+"""Colour-space conversion and chroma subsampling (BT.601 full range)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rgb_to_ycbcr", "ycbcr_to_rgb", "downsample_420", "upsample_420"]
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """Convert an (H, W, 3) uint8 RGB image to float YCbCr planes.
+
+    Output is float64 with Y in [0, 255] and Cb/Cr centred on 128.
+    """
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {rgb.shape}")
+    r = rgb[..., 0].astype(np.float64)
+    g = rgb[..., 1].astype(np.float64)
+    b = rgb[..., 2].astype(np.float64)
+    y = 0.299 * r + 0.587 * g + 0.114 * b
+    cb = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b
+    cr = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b
+    return np.stack([y, cb, cr], axis=-1)
+
+
+def ycbcr_to_rgb(ycbcr: np.ndarray) -> np.ndarray:
+    """Convert float YCbCr planes back to a uint8 RGB image."""
+    ycbcr = np.asarray(ycbcr, dtype=np.float64)
+    y = ycbcr[..., 0]
+    cb = ycbcr[..., 1] - 128.0
+    cr = ycbcr[..., 2] - 128.0
+    r = y + 1.402 * cr
+    g = y - 0.344136 * cb - 0.714136 * cr
+    b = y + 1.772 * cb
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+
+
+def downsample_420(plane: np.ndarray) -> np.ndarray:
+    """2x2 box-average chroma subsampling (pads odd dimensions by edge)."""
+    plane = np.asarray(plane, dtype=np.float64)
+    h, w = plane.shape
+    if h % 2 or w % 2:
+        plane = np.pad(plane, ((0, h % 2), (0, w % 2)), mode="edge")
+        h, w = plane.shape
+    return plane.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+
+
+def upsample_420(plane: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Nearest-neighbour chroma upsampling back to (out_h, out_w)."""
+    plane = np.asarray(plane, dtype=np.float64)
+    up = np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
+    return up[:out_h, :out_w]

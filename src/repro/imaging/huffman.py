@@ -1,0 +1,203 @@
+"""Canonical Huffman coding and bit-level serialisation.
+
+The entropy-coding back end of :mod:`repro.imaging.codec`.  Code lengths
+are capped at 16 bits (redistributed JPEG-style) so the decoder can run
+off a single 16-bit peek table.  Bit packing is vectorised: all codewords
+and extra-bit fields are laid out with cumulative offsets and written in
+``max_length`` numpy passes rather than per-token Python loops.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["build_code_lengths", "CanonicalHuffman", "pack_fields", "BitReader"]
+
+MAX_CODE_LEN = 16
+
+
+def build_code_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Huffman code lengths (capped at 16) for a frequency table.
+
+    Symbols with zero frequency get length 0 (no code).  A single-symbol
+    alphabet gets length 1.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    symbols = np.nonzero(freqs)[0]
+    n = symbols.size
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if n == 0:
+        return lengths
+    if n == 1:
+        lengths[symbols[0]] = 1
+        return lengths
+
+    # Standard Huffman tree construction over (weight, tiebreak, symbols).
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(freqs[s]), int(s), [int(s)]) for s in symbols
+    ]
+    heapq.heapify(heap)
+    counter = int(freqs.size)
+    depth = {int(s): 0 for s in symbols}
+    while len(heap) > 1:
+        w1, _, group1 = heapq.heappop(heap)
+        w2, _, group2 = heapq.heappop(heap)
+        for s in group1 + group2:
+            depth[s] += 1
+        counter += 1
+        heapq.heappush(heap, (w1 + w2, counter, group1 + group2))
+
+    for s, d in depth.items():
+        lengths[s] = d
+
+    # Cap at MAX_CODE_LEN by pulling overlong codes up and pushing one
+    # shorter code down (the classic JPEG "adjust bits" redistribution,
+    # done on the Kraft sum).
+    if lengths.max() > MAX_CODE_LEN:
+        lengths = _limit_lengths(lengths)
+    return lengths
+
+
+def _limit_lengths(lengths: np.ndarray) -> np.ndarray:
+    """Re-distribute code lengths so none exceeds MAX_CODE_LEN."""
+    lengths = lengths.astype(np.int64)
+    over = lengths > MAX_CODE_LEN
+    kraft = np.sum(0.5 ** lengths[lengths > 0])
+    lengths[over] = MAX_CODE_LEN
+    kraft = np.sum(0.5 ** lengths[lengths > 0])
+    # While the Kraft inequality is violated, lengthen the shortest
+    # amenable codes (each lengthening of a code at depth d frees 2^-d-1).
+    order = np.argsort(lengths)
+    while kraft > 1.0 + 1e-12:
+        for s in order:
+            if 0 < lengths[s] < MAX_CODE_LEN:
+                kraft -= 0.5 ** lengths[s]
+                lengths[s] += 1
+                kraft += 0.5 ** lengths[s]
+                if kraft <= 1.0 + 1e-12:
+                    break
+    return lengths.astype(np.uint8)
+
+
+class CanonicalHuffman:
+    """Canonical code assignment + fast encode tables + 16-bit peek decode."""
+
+    def __init__(self, lengths: np.ndarray) -> None:
+        lengths = np.asarray(lengths, dtype=np.uint8)
+        if lengths.max(initial=0) > MAX_CODE_LEN:
+            raise ValueError("code length exceeds 16 bits")
+        self.lengths = lengths
+        self.codes = np.zeros(lengths.size, dtype=np.uint32)
+        order = sorted(
+            (int(l), int(s)) for s, l in enumerate(lengths) if l > 0
+        )
+        code = 0
+        prev_len = 0
+        for length, symbol in order:
+            code <<= length - prev_len
+            self.codes[symbol] = code
+            code += 1
+            prev_len = length
+        self._peek_symbol: np.ndarray | None = None
+        self._peek_length: np.ndarray | None = None
+
+    def serialize(self) -> bytes:
+        """Compact table: count + (symbol, length) pairs for used symbols."""
+        used = np.nonzero(self.lengths)[0]
+        out = bytearray()
+        out += len(used).to_bytes(2, "big")
+        for s in used:
+            out.append(int(s) & 0xFF)
+            out.append(int(self.lengths[s]))
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes, offset: int, alphabet: int = 256):
+        """Inverse of :meth:`serialize`; returns (table, new_offset)."""
+        count = int.from_bytes(data[offset : offset + 2], "big")
+        offset += 2
+        lengths = np.zeros(alphabet, dtype=np.uint8)
+        for _ in range(count):
+            lengths[data[offset]] = data[offset + 1]
+            offset += 2
+        return cls(lengths), offset
+
+    def _build_peek(self) -> None:
+        symbol_tab = np.zeros(1 << MAX_CODE_LEN, dtype=np.int32) - 1
+        length_tab = np.zeros(1 << MAX_CODE_LEN, dtype=np.uint8)
+        for s, l in enumerate(self.lengths):
+            l = int(l)
+            if l == 0:
+                continue
+            prefix = int(self.codes[s]) << (MAX_CODE_LEN - l)
+            span = 1 << (MAX_CODE_LEN - l)
+            symbol_tab[prefix : prefix + span] = s
+            length_tab[prefix : prefix + span] = l
+        self._peek_symbol = symbol_tab
+        self._peek_length = length_tab
+
+    @property
+    def peek_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """(symbol, length) lookup tables indexed by a 16-bit peek."""
+        if self._peek_symbol is None:
+            self._build_peek()
+        return self._peek_symbol, self._peek_length
+
+
+def pack_fields(values: np.ndarray, lengths: np.ndarray) -> bytes:
+    """Concatenate variable-width big-endian bit fields into bytes.
+
+    ``values[i]`` is written MSB-first in ``lengths[i]`` bits.  Fields of
+    length 0 are skipped.  Vectorised: one pass per bit position of the
+    longest field.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    keep = lengths > 0
+    values, lengths = values[keep], lengths[keep]
+    total = int(np.sum(lengths))
+    if total == 0:
+        return b""
+    offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    bits = np.zeros(-(-total // 8) * 8, dtype=np.uint8)
+    max_len = int(lengths.max())
+    for b in range(max_len):
+        mask = lengths > b
+        pos = offsets[mask] + lengths[mask] - 1 - b
+        bits[pos] = (values[mask] >> b) & 1
+    return np.packbits(bits).tobytes()
+
+
+class BitReader:
+    """MSB-first bit cursor over bytes with a 16-bit peek window."""
+
+    def __init__(self, data: bytes, bit_offset: int = 0) -> None:
+        # Pad so a peek near the end never runs off the buffer.
+        self._data = bytes(data) + b"\x00\x00\x00\x00"
+        self.pos = bit_offset
+        self.limit = len(data) * 8
+
+    def peek16(self) -> int:
+        byte_idx = self.pos >> 3
+        window = int.from_bytes(self._data[byte_idx : byte_idx + 4], "big")
+        return (window >> (16 - (self.pos & 7))) & 0xFFFF
+
+    def read(self, n_bits: int) -> int:
+        if n_bits == 0:
+            return 0
+        if not 0 < n_bits <= 32:
+            raise ValueError(f"cannot read {n_bits} bits at once")
+        if self.pos + n_bits > self.limit:
+            raise EOFError("bit stream exhausted")
+        byte_idx = self.pos >> 3
+        window = int.from_bytes(self._data[byte_idx : byte_idx + 5], "big")
+        shift = 40 - (self.pos & 7) - n_bits
+        self.pos += n_bits
+        return (window >> shift) & ((1 << n_bits) - 1)
+
+    def skip(self, n_bits: int) -> None:
+        if self.pos + n_bits > self.limit:
+            raise EOFError("bit stream exhausted")
+        self.pos += n_bits

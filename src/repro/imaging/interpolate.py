@@ -1,0 +1,82 @@
+"""Missing-pixel recovery by nearest-neighbour interpolation.
+
+SONIC replaces the pixels of lost frames "with the value of their
+adjacent pixel, prioritizing the left pixel given that the webpage
+consists mostly of text read from left to right" (Section 3.3).  Because
+the transport partitions images into 1-pixel-wide vertical columns, a
+lost frame blanks a contiguous vertical run of one column — so the left
+neighbour is usually intact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["interpolate_missing", "loss_mask_from_columns", "apply_loss"]
+
+
+def loss_mask_from_columns(
+    shape: tuple[int, int], lost: list[tuple[int, int, int]]
+) -> np.ndarray:
+    """Build a boolean (H, W) mask from lost column segments.
+
+    ``lost`` holds ``(column, row_start, row_end)`` triples (end
+    exclusive), the footprint of lost transport frames.
+    """
+    h, w = shape
+    mask = np.zeros((h, w), dtype=bool)
+    for col, r0, r1 in lost:
+        if not 0 <= col < w:
+            raise ValueError(f"column {col} outside image of width {w}")
+        mask[max(0, r0) : min(h, r1), col] = True
+    return mask
+
+
+def apply_loss(
+    image: np.ndarray, mask: np.ndarray, fill_value: int = 0
+) -> np.ndarray:
+    """Blank the masked pixels (what the user sees without recovery)."""
+    image = np.asarray(image)
+    if mask.shape != image.shape[:2]:
+        raise ValueError("mask shape must match image height x width")
+    out = image.copy()
+    out[mask] = fill_value
+    return out
+
+
+def interpolate_missing(
+    image: np.ndarray, mask: np.ndarray, max_passes: int = 4
+) -> np.ndarray:
+    """Fill masked pixels from their nearest intact neighbour.
+
+    Priority order per pass: left, right, above, below — the paper's
+    left-first rule.  Several passes let wide gaps (adjacent lost
+    columns) fill progressively inward; any pixels still missing after
+    ``max_passes`` are left at their current value.
+    """
+    image = np.asarray(image)
+    if mask.shape != image.shape[:2]:
+        raise ValueError("mask shape must match image height x width")
+    out = image.copy()
+    missing = mask.copy()
+    for _ in range(max_passes):
+        if not missing.any():
+            break
+        for shift_axis, shift in ((1, 1), (1, -1), (0, 1), (0, -1)):
+            if not missing.any():
+                break
+            donor = np.roll(out, shift, axis=shift_axis)
+            donor_ok = ~np.roll(missing, shift, axis=shift_axis)
+            # roll wraps around the image edge; the wrapped lane is invalid.
+            if shift_axis == 1 and shift == 1:
+                donor_ok[:, 0] = False
+            elif shift_axis == 1:
+                donor_ok[:, -1] = False
+            elif shift == 1:
+                donor_ok[0, :] = False
+            else:
+                donor_ok[-1, :] = False
+            fill = missing & donor_ok
+            out[fill] = donor[fill]
+            missing = missing & ~fill
+    return out

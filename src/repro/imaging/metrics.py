@@ -1,0 +1,52 @@
+"""Image quality metrics used by the loss/readability experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["mse", "psnr_db", "ssim"]
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error between two images of identical shape."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    return float(np.mean((a - b) ** 2))
+
+
+def psnr_db(a: np.ndarray, b: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (inf-safe: capped at 100 dB)."""
+    err = mse(a, b)
+    if err <= peak**2 * 1e-10:
+        return 100.0
+    return float(10.0 * np.log10(peak**2 / err))
+
+
+def ssim(a: np.ndarray, b: np.ndarray, sigma: float = 1.5) -> float:
+    """Structural similarity (Gaussian-windowed, luma only).
+
+    Colour images are converted to luma first.  Returns the mean SSIM
+    over the image, in [-1, 1].
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    if a.ndim == 3:
+        weights = np.array([0.299, 0.587, 0.114])
+        a = a @ weights
+        b = b @ weights
+
+    c1 = (0.01 * 255) ** 2
+    c2 = (0.03 * 255) ** 2
+    mu_a = ndimage.gaussian_filter(a, sigma)
+    mu_b = ndimage.gaussian_filter(b, sigma)
+    var_a = ndimage.gaussian_filter(a * a, sigma) - mu_a**2
+    var_b = ndimage.gaussian_filter(b * b, sigma) - mu_b**2
+    cov = ndimage.gaussian_filter(a * b, sigma) - mu_a * mu_b
+    num = (2 * mu_a * mu_b + c1) * (2 * cov + c2)
+    den = (mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2)
+    return float(np.mean(num / den))

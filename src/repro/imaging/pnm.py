@@ -1,0 +1,64 @@
+"""Binary PPM/PGM image files.
+
+The repository has no image library dependency, so visual artefacts
+(Figure 1 reproductions, example screenshots) are written as NetPBM
+files, which any image viewer opens.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_ppm", "write_pgm", "read_pnm"]
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> None:
+    """Write an (H, W, 3) uint8 image as binary PPM (P6)."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3 or image.dtype != np.uint8:
+        raise ValueError("expected (H, W, 3) uint8 image")
+    h, w = image.shape[:2]
+    with open(path, "wb") as f:
+        f.write(f"P6\n{w} {h}\n255\n".encode())
+        f.write(image.tobytes())
+
+
+def write_pgm(path: str | Path, image: np.ndarray) -> None:
+    """Write an (H, W) uint8 image as binary PGM (P5)."""
+    image = np.asarray(image)
+    if image.ndim != 2 or image.dtype != np.uint8:
+        raise ValueError("expected (H, W) uint8 image")
+    h, w = image.shape
+    with open(path, "wb") as f:
+        f.write(f"P5\n{w} {h}\n255\n".encode())
+        f.write(image.tobytes())
+
+
+def read_pnm(path: str | Path) -> np.ndarray:
+    """Read a binary PPM (P6) or PGM (P5) file back into numpy."""
+    data = Path(path).read_bytes()
+    if not data.startswith((b"P5", b"P6")):
+        raise ValueError("not a binary PGM/PPM file")
+    color = data.startswith(b"P6")
+    # Parse header tokens (magic, width, height, maxval), skipping comments.
+    tokens: list[bytes] = []
+    pos = 0
+    while len(tokens) < 4:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos] != 0x0A:
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        tokens.append(data[start:pos])
+    pos += 1  # single whitespace after maxval
+    w, h = int(tokens[1]), int(tokens[2])
+    if int(tokens[3]) != 255:
+        raise ValueError("only 8-bit PNM supported")
+    raw = np.frombuffer(data, dtype=np.uint8, count=h * w * (3 if color else 1), offset=pos)
+    return raw.reshape(h, w, 3) if color else raw.reshape(h, w)

@@ -1,0 +1,40 @@
+"""Acoustic OFDM modem (the Quiet-library equivalent).
+
+The modem converts byte frames into audio waveforms and back.  A physical
+frame is laid out as::
+
+    [chirp preamble][known training symbol][OFDM payload symbols ...]
+
+with the payload protected by the FEC stack from :mod:`repro.fec`
+(CRC-32 + outer Reed-Solomon + interleaving + inner convolutional code),
+mirroring the Quiet profile SONIC derives from ``audible-7k-channel``:
+OFDM with 92 subcarriers at ~10 kbps.
+"""
+
+from repro.modem.constellation import Constellation
+from repro.modem.ofdm import OfdmConfig, OfdmPhy
+from repro.modem.frame import FrameCodec, FecConfig
+from repro.modem.profiles import ModemProfile, get_profile, list_profiles
+from repro.modem.modem import Modem, ReceivedFrame
+from repro.modem.fsk import FskModem, FskConfig
+from repro.modem.gmsk import GmskModem, GmskConfig
+from repro.modem.audioqr import AudioQrModem, AudioQrConfig
+
+__all__ = [
+    "Constellation",
+    "OfdmConfig",
+    "OfdmPhy",
+    "FrameCodec",
+    "FecConfig",
+    "ModemProfile",
+    "get_profile",
+    "list_profiles",
+    "Modem",
+    "ReceivedFrame",
+    "FskModem",
+    "FskConfig",
+    "GmskModem",
+    "GmskConfig",
+    "AudioQrModem",
+    "AudioQrConfig",
+]

@@ -1,0 +1,136 @@
+"""An AudioQR-class long-range chirp modem (baseline).
+
+Section 2: "AudioQR works in the near-ultrasonic frequency band
+(17.5-19.5 kHz) and can reach low speeds of about 100 bps while
+supporting long distances (up to 150 meters)."  The trick behind that
+range is spreading every symbol over a long chirp: matched filtering
+buys tens of dB of processing gain, trading throughput for distance.
+
+This baseline encodes each bit as an up- or down-chirp in the
+near-ultrasonic band and decodes by correlating against both templates —
+the design point SONIC rejects ("sacrifices transmission speed for high
+distance, while we target very low air distance").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal
+
+from repro.dsp.chirp import linear_chirp, matched_filter_peak
+from repro.fec.crc import crc16_ccitt
+from repro.util.bits import bits_to_bytes, bytes_to_bits
+
+__all__ = ["AudioQrConfig", "AudioQrModem"]
+
+
+@dataclass(frozen=True)
+class AudioQrConfig:
+    """Chirp plan: near-ultrasonic, long symbols."""
+
+    sample_rate: float = 48_000.0
+    band_low_hz: float = 17_500.0
+    band_high_hz: float = 19_500.0
+    symbol_duration_s: float = 0.010  # 100 bps
+    amplitude: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0 < self.band_low_hz < self.band_high_hz < self.sample_rate / 2:
+            raise ValueError("invalid chirp band")
+        if self.symbol_duration_s <= 0:
+            raise ValueError("symbol duration must be positive")
+
+    @property
+    def raw_bit_rate(self) -> float:
+        return 1.0 / self.symbol_duration_s
+
+    @property
+    def symbol_samples(self) -> int:
+        return int(round(self.symbol_duration_s * self.sample_rate))
+
+
+class AudioQrModem:
+    """1 bit per chirp: up-chirp = 1, down-chirp = 0."""
+
+    MAX_PAYLOAD = 255
+
+    def __init__(self, config: AudioQrConfig = AudioQrConfig()) -> None:
+        self.config = config
+        cfg = config
+        self._up = linear_chirp(
+            cfg.band_low_hz, cfg.band_high_hz, cfg.symbol_duration_s,
+            cfg.sample_rate, amplitude=1.0,
+        )
+        self._down = linear_chirp(
+            cfg.band_high_hz, cfg.band_low_hz, cfg.symbol_duration_s,
+            cfg.sample_rate, amplitude=1.0,
+        )
+        # Frame marker: a double-length up-down sweep.
+        marker = np.concatenate([self._up, self._down])
+        self._marker = marker * cfg.amplitude
+
+    def transmit(self, payload: bytes) -> np.ndarray:
+        """Encode 1..255 bytes as a chirp train."""
+        if not 0 < len(payload) <= self.MAX_PAYLOAD:
+            raise ValueError(f"payload must be 1..{self.MAX_PAYLOAD} bytes")
+        message = bytes([len(payload)]) + payload + crc16_ccitt(payload).to_bytes(2, "big")
+        bits = bytes_to_bits(message)
+        cfg = self.config
+        chunks = [self._marker]
+        for bit in bits:
+            chunks.append(cfg.amplitude * (self._up if bit else self._down))
+        return np.concatenate(chunks)
+
+    def receive(self, samples: np.ndarray) -> list[bytes]:
+        """Correlation receiver: per-symbol up-vs-down energy decision."""
+        samples = np.asarray(samples, dtype=np.float64)
+        cfg = self.config
+        n_sym = cfg.symbol_samples
+        peaks = matched_filter_peak(samples, self._marker, threshold=0.35)
+        messages: list[bytes] = []
+        for start, _score in peaks:
+            pos = start + self._marker.size
+            if pos + 8 * n_sym > samples.size:
+                continue
+            length_bits = self._read_bits(samples, pos, 8)
+            n = int(bits_to_bytes_safe(length_bits))
+            if n == 0:
+                continue
+            total_bits = (1 + n + 2) * 8
+            if pos + total_bits * n_sym > samples.size:
+                continue
+            bits = self._read_bits(samples, pos, total_bits)
+            stream = bits_to_bytes(bits)
+            payload = stream[1 : 1 + n]
+            stored = int.from_bytes(stream[1 + n : 1 + n + 2], "big")
+            if crc16_ccitt(payload) == stored:
+                messages.append(payload)
+        return messages
+
+    def _read_bits(self, samples: np.ndarray, pos: int, count: int) -> np.ndarray:
+        cfg = self.config
+        n_sym = cfg.symbol_samples
+        out = np.zeros(count, dtype=np.uint8)
+        for i in range(count):
+            window = samples[pos + i * n_sym : pos + (i + 1) * n_sym]
+            up = float(np.dot(window, self._up))
+            down = float(np.dot(window, self._down))
+            out[i] = 1 if abs(up) > abs(down) else 0
+        return out
+
+    def transmission_seconds(self, payload_len: int) -> float:
+        n_bits = (1 + payload_len + 2) * 8
+        return (
+            self._marker.size / self.config.sample_rate
+            + n_bits * self.config.symbol_duration_s
+        )
+
+
+def bits_to_bytes_safe(bits: np.ndarray) -> int:
+    """First byte value of a bit vector (length 8)."""
+    value = 0
+    for b in bits:
+        value = (value << 1) | int(b)
+    return value

@@ -1,0 +1,213 @@
+"""Frame-level FEC pipeline: bytes <-> protected bit stream.
+
+This layer reproduces the error-control stack SONIC configures in Quiet
+(Section 3.3 of the paper): a CRC-32 checksum over the payload, an outer
+Reed-Solomon code (``rs8``), and an inner convolutional code decoded with
+soft-decision Viterbi (``v29``), with a byte interleaver between the two
+codes so Viterbi error bursts spread across RS blocks.
+
+The codec is dimensioned for a *fixed* payload size (SONIC uses 100-byte
+frames), so both ends know every length statically and no PHY-layer
+length header is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fec import (
+    BlockInterleaver,
+    CONV_V27,
+    CONV_V29,
+    ConvolutionalCode,
+    RSDecodeError,
+    ReedSolomon,
+    crc32_ieee,
+)
+from repro.util.bits import bits_to_bytes, bytes_to_bits
+from repro.util.rng import derive_rng
+
+__all__ = ["FecConfig", "FrameCodec", "FrameDecodeError"]
+
+_CONV_CODES: dict[str, ConvolutionalCode | None] = {
+    "v27": CONV_V27,
+    "v29": CONV_V29,
+    "none": None,
+}
+
+
+class FrameDecodeError(Exception):
+    """The frame could not be recovered (RS failure or CRC mismatch)."""
+
+
+@dataclass(frozen=True)
+class FecConfig:
+    """Error-control parameters for the frame codec.
+
+    The defaults mirror SONIC's Quiet profile: CRC-32 + RS outer code +
+    K=9 rate-1/2 convolutional inner code.
+    """
+
+    payload_size: int = 100
+    rs_nsym: int = 16
+    rs_max_block: int = 128
+    conv: str = "v29"
+    interleave: bool = True
+    scramble: bool = True
+    #: With no inner code, soft-decision confidence survives to the RS
+    #: layer: flag the least-confident bytes as erasures, doubling the
+    #: correctable count (2*errors + erasures <= nsym).
+    rs_erasures: bool = False
+
+    def __post_init__(self) -> None:
+        if self.payload_size < 1:
+            raise ValueError("payload_size must be positive")
+        if self.conv not in _CONV_CODES:
+            raise ValueError(f"conv must be one of {sorted(_CONV_CODES)}")
+        if self.rs_nsym and not 2 <= self.rs_nsym <= 254:
+            raise ValueError("rs_nsym must be 0 (disabled) or in [2, 254]")
+        if self.rs_nsym and self.rs_max_block + self.rs_nsym > 255:
+            raise ValueError("rs_max_block + rs_nsym must be <= 255")
+
+
+class FrameCodec:
+    """Fixed-size frame encoder/decoder implementing the FEC pipeline."""
+
+    CRC_LEN = 4
+
+    def __init__(self, config: FecConfig = FecConfig()) -> None:
+        self.config = config
+        body_len = config.payload_size + self.CRC_LEN
+        if config.rs_nsym:
+            self._rs = ReedSolomon(config.rs_nsym)
+            self._n_blocks = -(-body_len // config.rs_max_block)
+            self._block_data = -(-body_len // self._n_blocks)
+            self._padded_body = self._block_data * self._n_blocks
+            coded_block = self._block_data + config.rs_nsym
+            self._coded_bytes = coded_block * self._n_blocks
+            self._interleaver = (
+                BlockInterleaver(self._n_blocks, coded_block)
+                if config.interleave and self._n_blocks > 1
+                else None
+            )
+        else:
+            self._rs = None
+            self._n_blocks = 0
+            self._padded_body = body_len
+            self._coded_bytes = body_len
+            self._interleaver = None
+        self._conv = _CONV_CODES[config.conv]
+        self._info_bits = self._coded_bytes * 8
+        if self._conv is not None:
+            self._frame_bits = self._conv.coded_length(self._info_bits)
+        else:
+            self._frame_bits = self._info_bits
+        pn_rng = derive_rng(0xD15EA5E, "scrambler", config.payload_size)
+        self._pn = pn_rng.integers(0, 2, self._info_bits).astype(np.uint8)
+
+    @property
+    def frame_bits(self) -> int:
+        """Number of coded bits every frame occupies on the PHY."""
+        return self._frame_bits
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Coded bits per payload bit (FEC + CRC expansion factor)."""
+        return self._frame_bits / (self.config.payload_size * 8)
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(self, payload: bytes) -> np.ndarray:
+        """Protect ``payload`` and return the coded bit vector."""
+        cfg = self.config
+        if len(payload) != cfg.payload_size:
+            raise ValueError(
+                f"payload must be exactly {cfg.payload_size} bytes, got {len(payload)}"
+            )
+        crc = crc32_ieee(payload)
+        body = payload + crc.to_bytes(4, "big")
+        body = body + bytes(self._padded_body - len(body))
+
+        if self._rs is not None:
+            blocks = [
+                self._rs.encode(body[i * self._block_data : (i + 1) * self._block_data])
+                for i in range(self._n_blocks)
+            ]
+            coded = np.frombuffer(b"".join(blocks), dtype=np.uint8)
+            if self._interleaver is not None:
+                coded = self._interleaver.interleave(coded)
+            stream = coded.tobytes()
+        else:
+            stream = body
+
+        bits = bytes_to_bits(stream)
+        if self.config.scramble:
+            bits = bits ^ self._pn
+        if self._conv is not None:
+            bits = self._conv.encode(bits)
+        return bits
+
+    # -- decode ------------------------------------------------------------
+
+    def decode(self, soft_bits: np.ndarray) -> bytes:
+        """Recover the payload from soft bits; raises on unrecoverable frames.
+
+        ``soft_bits`` is the bipolar soft-decision stream from the
+        demapper (positive favours bit 0).  Hard bits can be passed as
+        ``1.0 - 2.0 * bits``.
+        """
+        soft = np.asarray(soft_bits, dtype=np.float64)
+        if soft.size < self._frame_bits:
+            raise ValueError(
+                f"expected {self._frame_bits} soft bits, got {soft.size}"
+            )
+        soft = soft[: self._frame_bits]
+
+        byte_confidence: np.ndarray | None = None
+        if self._conv is not None:
+            bits = self._conv.decode_soft(soft, self._info_bits)
+        else:
+            bits = (soft < 0).astype(np.uint8)
+            if self.config.rs_erasures and self._rs is not None:
+                # Confidence of a byte = its weakest bit's magnitude.
+                byte_confidence = np.abs(soft).reshape(-1, 8).min(axis=1)
+        if self.config.scramble:
+            bits = bits ^ self._pn
+        stream = np.frombuffer(bits_to_bytes(bits), dtype=np.uint8)
+
+        if self._rs is not None:
+            if self._interleaver is not None:
+                stream = self._interleaver.deinterleave(stream)
+                if byte_confidence is not None:
+                    byte_confidence = self._interleaver.deinterleave(byte_confidence)
+            raw = stream.tobytes()
+            coded_block = self._block_data + self.config.rs_nsym
+            parts = []
+            for i in range(self._n_blocks):
+                block = raw[i * coded_block : (i + 1) * coded_block]
+                erasures = None
+                if byte_confidence is not None:
+                    conf = byte_confidence[i * coded_block : (i + 1) * coded_block]
+                    # Flag up to nsym - 2 weakest bytes so a couple of
+                    # undetected hard errors remain correctable.
+                    budget = max(0, self.config.rs_nsym - 2)
+                    order = np.argsort(conf)[:budget]
+                    threshold = float(np.median(conf)) * 0.5
+                    erasures = [int(p) for p in order if conf[p] < threshold]
+                try:
+                    parts.append(self._rs.decode(block, erase_pos=erasures))
+                except RSDecodeError as exc:
+                    raise FrameDecodeError(f"RS block {i} unrecoverable") from exc
+            body = b"".join(parts)
+        else:
+            body = stream.tobytes()
+
+        payload = body[: self.config.payload_size]
+        stored = int.from_bytes(
+            body[self.config.payload_size : self.config.payload_size + 4], "big"
+        )
+        if crc32_ieee(payload) != stored:
+            raise FrameDecodeError("CRC-32 mismatch")
+        return payload

@@ -1,0 +1,159 @@
+"""A GGwave-style multi-tone FSK modem (baseline).
+
+Section 2 of the paper compares SONIC's OFDM profile against simpler
+data-over-sound tools: GGwave reaches ~128 bps using frequency-shift
+keying.  This module implements that class of modem — 4 bits per symbol,
+one of 16 tones per symbol slot, non-coherent energy detection — so the
+rate comparison in the RATES benchmark is measured rather than quoted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.chirp import linear_chirp, matched_filter_peak
+from repro.fec.crc import crc16_ccitt
+
+__all__ = ["FskConfig", "FskModem"]
+
+
+@dataclass(frozen=True)
+class FskConfig:
+    """Tone plan and timing for the FSK modem."""
+
+    sample_rate: float = 48_000.0
+    base_freq_hz: float = 1_875.0
+    tone_spacing_hz: float = 187.5
+    num_tones: int = 16
+    symbol_duration_s: float = 0.030
+    amplitude: float = 0.25
+
+    def __post_init__(self) -> None:
+        top = self.base_freq_hz + self.tone_spacing_hz * (self.num_tones - 1)
+        if top >= self.sample_rate / 2:
+            raise ValueError("tone plan exceeds Nyquist frequency")
+        if self.num_tones not in (2, 4, 16):
+            raise ValueError("num_tones must be 2, 4 or 16")
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return int(np.log2(self.num_tones))
+
+    @property
+    def symbol_samples(self) -> int:
+        return int(round(self.symbol_duration_s * self.sample_rate))
+
+    @property
+    def raw_bit_rate(self) -> float:
+        return self.bits_per_symbol / self.symbol_duration_s
+
+    def tone_freq(self, index: int) -> float:
+        return self.base_freq_hz + index * self.tone_spacing_hz
+
+
+class FskModem:
+    """Length-prefixed, CRC-16-protected FSK transceiver."""
+
+    MAX_PAYLOAD = 255
+
+    def __init__(self, config: FskConfig = FskConfig()) -> None:
+        self.config = config
+        self._preamble = linear_chirp(
+            1_000.0, 5_000.0, 0.060, config.sample_rate, amplitude=config.amplitude
+        )
+        n = config.symbol_samples
+        t = np.arange(n) / config.sample_rate
+        window = np.hanning(n)
+        self._tones = np.stack(
+            [
+                np.sin(2 * np.pi * config.tone_freq(i) * t) * window
+                for i in range(config.num_tones)
+            ]
+        )
+
+    def _symbols_for(self, message: bytes) -> np.ndarray:
+        """Split bytes into tone indices (nibbles, high first, for 16 tones)."""
+        bits_per = self.config.bits_per_symbol
+        data = np.frombuffer(message, dtype=np.uint8)
+        symbols = []
+        for byte in data:
+            for shift in range(8 - bits_per, -1, -bits_per):
+                symbols.append((int(byte) >> shift) & (self.config.num_tones - 1))
+        return np.array(symbols, dtype=np.int64)
+
+    # -- transmit ----------------------------------------------------------
+
+    def transmit(self, payload: bytes) -> np.ndarray:
+        """Encode a variable-length payload (<= 255 bytes) into audio."""
+        if not 0 < len(payload) <= self.MAX_PAYLOAD:
+            raise ValueError(f"payload must be 1..{self.MAX_PAYLOAD} bytes")
+        crc = crc16_ccitt(payload)
+        message = bytes([len(payload)]) + payload + crc.to_bytes(2, "big")
+        chunks = [self._preamble]
+        for sym in self._symbols_for(message):
+            chunks.append(self.config.amplitude * self._tones[sym])
+        return np.concatenate(chunks)
+
+    # -- receive ----------------------------------------------------------
+
+    def _detect_symbol(self, window: np.ndarray) -> int:
+        energies = self._tones @ window
+        return int(np.argmax(np.abs(energies)))
+
+    def receive(self, samples: np.ndarray) -> list[bytes]:
+        """Decode every FSK message found in ``samples``."""
+        samples = np.asarray(samples, dtype=np.float64)
+        cfg = self.config
+        sym_n = cfg.symbol_samples
+        per_byte = 8 // cfg.bits_per_symbol
+        peaks = matched_filter_peak(samples, self._preamble, threshold=0.4)
+        messages: list[bytes] = []
+        for start, _score in peaks:
+            pos = start + self._preamble.size
+            # Read the length byte first, then the rest.
+            if pos + per_byte * sym_n > samples.size:
+                continue
+            length = self._read_bytes(samples, pos, 1)
+            if length is None:
+                continue
+            n = length[0]
+            if n == 0:
+                continue
+            total = 1 + n + 2
+            body = self._read_bytes(samples, pos, total)
+            if body is None:
+                continue
+            payload = body[1 : 1 + n]
+            stored = int.from_bytes(body[1 + n : 1 + n + 2], "big")
+            if crc16_ccitt(payload) == stored:
+                messages.append(bytes(payload))
+        return messages
+
+    def _read_bytes(self, samples: np.ndarray, pos: int, count: int) -> bytearray | None:
+        cfg = self.config
+        sym_n = cfg.symbol_samples
+        per_byte = 8 // cfg.bits_per_symbol
+        need = count * per_byte * sym_n
+        if pos + need > samples.size:
+            return None
+        out = bytearray()
+        cursor = pos
+        for _ in range(count):
+            value = 0
+            for _ in range(per_byte):
+                sym = self._detect_symbol(samples[cursor : cursor + sym_n])
+                value = (value << cfg.bits_per_symbol) | sym
+                cursor += sym_n
+            out.append(value)
+        return out
+
+    def transmission_seconds(self, payload_len: int) -> float:
+        """Airtime for a payload of the given length."""
+        per_byte = 8 // self.config.bits_per_symbol
+        n_syms = (1 + payload_len + 2) * per_byte
+        return (
+            self._preamble.size / self.config.sample_rate
+            + n_syms * self.config.symbol_duration_s
+        )

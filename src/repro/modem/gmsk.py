@@ -1,0 +1,200 @@
+"""GMSK data-over-sound modem.
+
+Quiet (the library SONIC builds on) ships GMSK profiles alongside OFDM;
+minimum-shift keying with a Gaussian pulse filter is the classic
+constant-envelope modulation (GSM's physical layer).  Constant envelope
+matters on the audio path: it survives speaker/amplifier clipping that
+would crush a high-PAPR OFDM waveform, at the price of a lower bit rate.
+
+Implementation: bits -> NRZ -> Gaussian filter (BT configurable) ->
+phase integration with modulation index 0.5 -> upconversion to an audio
+carrier.  The receiver downconverts to I/Q, differentiates the phase,
+matched-filters, and recovers symbol timing from the preamble chirp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal
+
+from repro.dsp.chirp import linear_chirp, matched_filter_peak
+from repro.dsp.filters import fir_lowpass, filter_signal
+from repro.fec.crc import crc16_ccitt
+from repro.util.bits import bits_to_bytes, bytes_to_bits
+
+__all__ = ["GmskConfig", "GmskModem"]
+
+
+@dataclass(frozen=True)
+class GmskConfig:
+    """GMSK dimensioning."""
+
+    sample_rate: float = 48_000.0
+    carrier_hz: float = 9_200.0  # SONIC's audio carrier
+    symbol_rate: float = 4_800.0
+    bt: float = 0.3  # Gaussian filter bandwidth-time product
+    amplitude: float = 0.25
+
+    def __post_init__(self) -> None:
+        sps = self.sample_rate / self.symbol_rate
+        if abs(sps - round(sps)) > 1e-9:
+            raise ValueError("sample_rate must be an integer multiple of symbol_rate")
+        if not 0.1 <= self.bt <= 1.0:
+            raise ValueError("BT product out of the practical range [0.1, 1.0]")
+        if self.carrier_hz + self.symbol_rate > self.sample_rate / 2:
+            raise ValueError("carrier + symbol rate exceeds Nyquist")
+
+    @property
+    def samples_per_symbol(self) -> int:
+        return int(round(self.sample_rate / self.symbol_rate))
+
+    @property
+    def raw_bit_rate(self) -> float:
+        return self.symbol_rate  # 1 bit per symbol
+
+
+def _gaussian_taps(bt: float, sps: int, span_symbols: int = 4) -> np.ndarray:
+    """Gaussian pulse-shaping filter, unit DC gain."""
+    t = np.arange(-span_symbols * sps, span_symbols * sps + 1) / sps
+    alpha = np.sqrt(np.log(2.0) / 2.0) / bt
+    taps = (np.sqrt(np.pi) / alpha) * np.exp(-((np.pi * t / alpha) ** 2))
+    return taps / np.sum(taps)
+
+
+class GmskModem:
+    """Length-prefixed, CRC-16-protected GMSK transceiver."""
+
+    MAX_PAYLOAD = 4_096
+    _SYNC_WORD = 0xD391  # 16-bit sync pattern after the preamble
+
+    def __init__(self, config: GmskConfig = GmskConfig()) -> None:
+        self.config = config
+        sps = config.samples_per_symbol
+        self._pulse = _gaussian_taps(config.bt, sps)
+        self._preamble = linear_chirp(
+            config.carrier_hz - 3_000,
+            config.carrier_hz + 3_000,
+            0.03,
+            config.sample_rate,
+            amplitude=config.amplitude,
+        )
+        self._lp = fir_lowpass(config.symbol_rate, config.sample_rate, 127)
+
+    # -- modulation ------------------------------------------------------------
+
+    def _phase_from_bits(self, bits: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        sps = cfg.samples_per_symbol
+        nrz = 2.0 * bits.astype(np.float64) - 1.0
+        impulses = np.zeros(bits.size * sps)
+        impulses[::sps] = nrz
+        shaped = signal.fftconvolve(impulses, self._pulse * sps, mode="full")
+        # Modulation index 0.5: +/- pi/2 phase advance per symbol.
+        return np.cumsum(shaped) * (np.pi / 2.0) / sps
+
+    def transmit(self, payload: bytes) -> np.ndarray:
+        """Encode ``payload`` (1..4096 bytes) into audio."""
+        if not 0 < len(payload) <= self.MAX_PAYLOAD:
+            raise ValueError(f"payload must be 1..{self.MAX_PAYLOAD} bytes")
+        cfg = self.config
+        header = len(payload).to_bytes(2, "big")
+        crc = crc16_ccitt(payload).to_bytes(2, "big")
+        # Two alternating pad bytes ahead of the sync word absorb the
+        # chirp detector's +/- few-bit timing slop in both directions.
+        message = (
+            b"\xaa\xaa"
+            + self._SYNC_WORD.to_bytes(2, "big")
+            + header
+            + payload
+            + crc
+        )
+        bits = bytes_to_bits(message)
+        # Pad tail so the Gaussian filter ring-out stays in-frame.
+        bits = np.concatenate([bits, np.zeros(8, dtype=np.uint8)])
+        phase = self._phase_from_bits(bits)
+        t = np.arange(phase.size) / cfg.sample_rate
+        body = cfg.amplitude * np.cos(2 * np.pi * cfg.carrier_hz * t + phase)
+        return np.concatenate([self._preamble, body])
+
+    # -- demodulation ------------------------------------------------------------
+
+    def _instantaneous_freq(self, samples: np.ndarray) -> np.ndarray:
+        """Frequency discriminator output around the carrier (rad/sample)."""
+        cfg = self.config
+        n = samples.size
+        t = np.arange(n) / cfg.sample_rate
+        lo = np.exp(-2j * np.pi * cfg.carrier_hz * t)
+        baseband = samples * lo
+        i = filter_signal(self._lp, baseband.real)
+        q = filter_signal(self._lp, baseband.imag)
+        z = i + 1j * q
+        freq = np.angle(z[1:] * np.conj(z[:-1]))
+        return np.concatenate([[0.0], freq])
+
+    def receive(self, samples: np.ndarray) -> list[bytes]:
+        """Decode every GMSK message found in ``samples``."""
+        samples = np.asarray(samples, dtype=np.float64)
+        cfg = self.config
+        sps = cfg.samples_per_symbol
+        peaks = matched_filter_peak(samples, self._preamble, threshold=0.4)
+        messages: list[bytes] = []
+        for start, _score in peaks:
+            begin = start + self._preamble.size
+            if begin + 8 * sps >= samples.size:
+                continue
+            freq = self._instantaneous_freq(samples[begin:])
+            # Group-delay of the pulse shaping centres decisions
+            # mid-symbol; sweep sub-symbol offsets for the best timing.
+            delay = (self._pulse.size - 1) // 2
+            for k in range(4):
+                bits = self._decode_bits(freq, delay + k * sps // 4, sps)
+                message = self._frame_from_bits(bits)
+                if message is not None:
+                    messages.append(message)
+                    break
+        return messages
+
+    def _decode_bits(self, freq: np.ndarray, delay: int, sps: int) -> np.ndarray:
+        max_bits = (freq.size - delay) // sps
+        if max_bits <= 0:
+            return np.zeros(0, dtype=np.uint8)
+        # Integrate frequency over each symbol: positive net phase = 1.
+        centers = delay + np.arange(max_bits) * sps
+        sums = np.zeros(max_bits)
+        for offset in range(sps):
+            idx = np.minimum(centers + offset, freq.size - 1)
+            sums += freq[idx]
+        return (sums > 0).astype(np.uint8)
+
+    def _frame_from_bits(self, bits: np.ndarray) -> bytes | None:
+        if bits.size < 48:
+            return None
+        # Bit-level sync search: chirp timing can be off by a few bits.
+        sync_bits = bytes_to_bits(self._SYNC_WORD.to_bytes(2, "big"))
+        limit = min(bits.size - 16, 40)
+        for shift in range(limit + 1):
+            if not np.array_equal(bits[shift : shift + 16], sync_bits):
+                continue
+            frame = bits[shift + 16 :]
+            usable = frame[: (frame.size // 8) * 8]
+            if usable.size < 32:
+                continue
+            stream = bits_to_bytes(usable)
+            length = int.from_bytes(stream[0:2], "big")
+            if length == 0 or 2 + length + 2 > len(stream):
+                continue
+            payload = stream[2 : 2 + length]
+            stored = int.from_bytes(stream[2 + length : 2 + length + 2], "big")
+            if crc16_ccitt(payload) == stored:
+                return payload
+        return None
+
+    def transmission_seconds(self, payload_len: int) -> float:
+        """Airtime for a payload of the given length."""
+        n_bits = (2 + 2 + 2 + payload_len + 2) * 8 + 8
+        return (
+            self._preamble.size / self.config.sample_rate
+            + n_bits / self.config.raw_bit_rate
+        )

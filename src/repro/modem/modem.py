@@ -1,0 +1,221 @@
+"""High-level modem API: byte frames <-> audio waveforms.
+
+A transmitted frame is laid out as::
+
+    [chirp preamble][guard][training symbol][payload OFDM symbols]
+
+The receiver finds preambles by matched filtering, demodulates each frame
+that follows, runs the FEC pipeline, and reports per-frame outcomes.  A
+frame whose FEC fails is reported with ``payload=None`` — that is what
+the paper counts as a *lost frame*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.chirp import linear_chirp, matched_filter_peak
+from repro.modem.frame import FrameCodec, FrameDecodeError
+from repro.modem.ofdm import OfdmPhy
+from repro.modem.profiles import ModemProfile, get_profile
+
+__all__ = ["Modem", "ReceivedFrame"]
+
+
+@dataclass(frozen=True)
+class ReceivedFrame:
+    """One detected frame and its decode outcome."""
+
+    payload: bytes | None
+    start_index: int
+    snr_db: float
+    sync_score: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the frame decoded and passed its CRC."""
+        return self.payload is not None
+
+
+class Modem:
+    """Symmetric transmitter/receiver for one profile.
+
+    >>> modem = Modem()
+    >>> wave = modem.transmit_frame(bytes(100))
+    >>> [frame.ok for frame in modem.receive(wave)]
+    [True]
+    """
+
+    def __init__(self, profile: ModemProfile | str = "sonic-ofdm") -> None:
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        self.profile = profile
+        self.phy = OfdmPhy(profile.ofdm)
+        self.codec = FrameCodec(profile.fec)
+        self._preamble = linear_chirp(
+            profile.preamble_f0_hz,
+            profile.preamble_f1_hz,
+            profile.preamble_duration_s,
+            profile.ofdm.sample_rate,
+            amplitude=2.0 * OfdmPhy.TARGET_RMS,
+        )
+        self._n_payload_symbols = self.phy.n_symbols_for_bits(self.codec.frame_bits)
+
+    @property
+    def frame_payload_size(self) -> int:
+        """Payload bytes carried per frame (100 for SONIC)."""
+        return self.profile.fec.payload_size
+
+    @property
+    def frame_samples(self) -> int:
+        """Audio samples occupied by one complete frame."""
+        return (
+            self._preamble.size
+            + self.profile.guard_samples
+            + (self._n_payload_symbols + 1) * self.profile.ofdm.symbol_len
+        )
+
+    @property
+    def frame_duration_s(self) -> float:
+        return self.frame_samples / self.profile.ofdm.sample_rate
+
+    # -- transmit ----------------------------------------------------------
+
+    def transmit_frame(self, payload: bytes) -> np.ndarray:
+        """Encode one payload into an audio waveform."""
+        return self.transmit_burst([payload])
+
+    def transmit_burst(self, payloads: list[bytes]) -> np.ndarray:
+        """Encode several payloads behind a *single* preamble + training.
+
+        Burst mode amortises the synchronisation overhead: each frame is
+        still independently FEC-protected and CRC-gated, so losses remain
+        per-frame, but the preamble cost is paid once per burst.
+        """
+        if not payloads:
+            raise ValueError("burst must contain at least one payload")
+        guard = np.zeros(self.profile.guard_samples)
+        parts = [self._preamble, guard, self.phy.training_waveform()]
+        for payload in payloads:
+            bits = self.codec.encode(payload)
+            parts.append(self.phy.modulate_bits(bits))
+        return np.concatenate(parts)
+
+    def transmit_frames(
+        self, payloads: list[bytes], gap_s: float = 0.01
+    ) -> np.ndarray:
+        """Concatenate individually-preambled frames with silent gaps."""
+        if not payloads:
+            return np.zeros(0)
+        gap = np.zeros(int(gap_s * self.profile.ofdm.sample_rate))
+        parts: list[np.ndarray] = []
+        for i, payload in enumerate(payloads):
+            if i:
+                parts.append(gap)
+            parts.append(self.transmit_frame(payload))
+        return np.concatenate(parts)
+
+    def burst_samples(self, n_frames: int) -> int:
+        """Audio samples occupied by an ``n_frames`` burst."""
+        return (
+            self._preamble.size
+            + self.profile.guard_samples
+            + (n_frames * self._n_payload_symbols + 1) * self.profile.ofdm.symbol_len
+        )
+
+    def burst_net_bit_rate(self, n_frames: int) -> float:
+        """Payload goodput of an ``n_frames`` burst."""
+        bits = n_frames * self.frame_payload_size * 8
+        return bits / (self.burst_samples(n_frames) / self.profile.ofdm.sample_rate)
+
+    # -- receive ----------------------------------------------------------
+
+    def receive(
+        self,
+        samples: np.ndarray,
+        sync_threshold: float = 0.35,
+        frames_per_burst: int | None = None,
+    ) -> list[ReceivedFrame]:
+        """Detect and decode every frame present in ``samples``.
+
+        Handles both single-frame transmissions and bursts.  When the
+        caller knows the burst size (SONIC's broadcast schedule uses a
+        fixed ``frames_per_burst``), passing it makes burst delineation
+        exact; otherwise the frame count behind each preamble is inferred
+        from how many OFDM symbol slots carry in-band energy.
+        """
+        samples = np.asarray(samples, dtype=np.float64)
+        peaks = matched_filter_peak(
+            samples,
+            self._preamble,
+            threshold=sync_threshold,
+            min_separation=self._preamble.size,
+        )
+        results: list[ReceivedFrame] = []
+        offset = self._preamble.size + self.profile.guard_samples
+        sym_len = self.profile.ofdm.symbol_len
+        per_frame = self._n_payload_symbols
+        for i, (start, score) in enumerate(peaks):
+            frame_start = start + offset
+            limit = peaks[i + 1][0] if i + 1 < len(peaks) else samples.size
+            max_symbols = (limit - frame_start) // sym_len - 1
+            if max_symbols < per_frame:
+                results.append(ReceivedFrame(None, start, -np.inf, score))
+                continue
+            if frames_per_burst is not None:
+                n_frames = min(frames_per_burst, max_symbols // per_frame)
+            else:
+                active = self._count_active_symbols(samples, frame_start, max_symbols)
+                n_frames = max(1, int(round(active / per_frame))) if active else 1
+                n_frames = min(n_frames, max_symbols // per_frame)
+            try:
+                demod = self.phy.demodulate(
+                    samples, frame_start, n_frames * per_frame
+                )
+            except ValueError:
+                results.append(ReceivedFrame(None, start, -np.inf, score))
+                continue
+            grids = demod.data_symbols.reshape(
+                n_frames, per_frame * self.profile.ofdm.n_data_subcarriers
+            )
+            for row in grids:
+                soft = self.phy.constellation.demap_soft(row, demod.noise_var)
+                try:
+                    payload = self.codec.decode(soft)
+                except FrameDecodeError:
+                    payload = None
+                results.append(
+                    ReceivedFrame(payload, start, demod.snr_db, score)
+                )
+        return results
+
+    def _count_active_symbols(
+        self, samples: np.ndarray, frame_start: int, max_symbols: int
+    ) -> int:
+        """Count contiguous symbol slots (after training) with in-band energy."""
+        cfg = self.profile.ofdm
+        bins = cfg.active_bins
+
+        def band_energy(sym_index: int) -> float:
+            base = frame_start + sym_index * cfg.symbol_len + cfg.cp_len
+            window = samples[base : base + cfg.fft_size]
+            if window.size < cfg.fft_size:
+                return 0.0
+            return float(np.sum(np.abs(np.fft.rfft(window)[bins]) ** 2))
+
+        reference = band_energy(0)  # training symbol
+        if reference <= 0:
+            return 0
+        energies = np.array([band_energy(i) for i in range(1, max_symbols + 1)])
+        above = np.nonzero(energies >= 0.25 * reference)[0]
+        if above.size == 0:
+            return 0
+        # Bursts are contiguous, so everything up to the last energetic
+        # slot is payload — single flutter dips must not truncate it.
+        return int(above[-1]) + 1
+
+    def receive_payloads(self, samples: np.ndarray) -> list[bytes | None]:
+        """Convenience wrapper returning just the payloads (None = lost)."""
+        return [frame.payload for frame in self.receive(samples)]

@@ -1,0 +1,220 @@
+"""Real-passband OFDM modulation for the audio channel.
+
+Symbols are synthesised directly at passband with an inverse real FFT:
+the 92 active subcarriers occupy contiguous FFT bins inside the FM mono
+band (roughly 7.2-11.5 kHz, centred near the paper's 9.2 kHz carrier).
+Each frame begins with one known *training* symbol used for per-bin
+channel estimation; a sparse comb of pilot subcarriers then tracks the
+common phase error across the payload symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.modem.constellation import Constellation
+from repro.util.rng import derive_rng
+
+__all__ = ["OfdmConfig", "OfdmPhy", "OfdmDemodResult"]
+
+
+@dataclass(frozen=True)
+class OfdmConfig:
+    """Static OFDM dimensioning shared by transmitter and receiver."""
+
+    sample_rate: float = 48_000.0
+    fft_size: int = 1024
+    cp_len: int = 96
+    first_bin: int = 154
+    num_subcarriers: int = 92
+    pilot_spacing: int = 8
+    constellation_order: int = 16
+    pn_seed: int = 0x50A1C  # shared pilot/training pseudo-noise seed
+
+    def __post_init__(self) -> None:
+        if self.fft_size & (self.fft_size - 1):
+            raise ValueError("fft_size must be a power of two")
+        if not 0 < self.cp_len < self.fft_size:
+            raise ValueError("cp_len must be in (0, fft_size)")
+        last_bin = self.first_bin + self.num_subcarriers - 1
+        if self.first_bin < 1 or last_bin >= self.fft_size // 2:
+            raise ValueError("active subcarriers fall outside the real spectrum")
+        if self.pilot_spacing < 2:
+            raise ValueError("pilot_spacing must be >= 2")
+
+    @property
+    def active_bins(self) -> np.ndarray:
+        """FFT bin indices of all active (pilot + data) subcarriers."""
+        return np.arange(self.first_bin, self.first_bin + self.num_subcarriers)
+
+    @property
+    def pilot_positions(self) -> np.ndarray:
+        """Indices *within the active set* used as pilots."""
+        return np.arange(0, self.num_subcarriers, self.pilot_spacing)
+
+    @property
+    def data_positions(self) -> np.ndarray:
+        """Indices within the active set carrying payload symbols."""
+        mask = np.ones(self.num_subcarriers, dtype=bool)
+        mask[self.pilot_positions] = False
+        return np.nonzero(mask)[0]
+
+    @property
+    def n_data_subcarriers(self) -> int:
+        return int(self.data_positions.size)
+
+    @property
+    def symbol_len(self) -> int:
+        """Samples per OFDM symbol including the cyclic prefix."""
+        return self.fft_size + self.cp_len
+
+    @property
+    def symbol_duration_s(self) -> float:
+        return self.symbol_len / self.sample_rate
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Payload bits carried by one OFDM symbol."""
+        order_bits = int(np.log2(self.constellation_order))
+        return self.n_data_subcarriers * order_bits
+
+    @property
+    def center_frequency_hz(self) -> float:
+        """Centre of the occupied band — near SONIC's 9.2 kHz carrier."""
+        mid_bin = self.first_bin + (self.num_subcarriers - 1) / 2
+        return mid_bin * self.sample_rate / self.fft_size
+
+    @property
+    def bandwidth_hz(self) -> float:
+        return self.num_subcarriers * self.sample_rate / self.fft_size
+
+    def raw_bit_rate(self) -> float:
+        """Pre-FEC payload bit rate of back-to-back symbols."""
+        return self.bits_per_symbol / self.symbol_duration_s
+
+
+@dataclass
+class OfdmDemodResult:
+    """Equalised payload symbols plus channel-quality estimates."""
+
+    data_symbols: np.ndarray  # (n_symbols, n_data_subcarriers) complex
+    noise_var: float
+    snr_db: float
+
+
+class OfdmPhy:
+    """Modulator/demodulator for one OFDM configuration."""
+
+    #: target time-domain RMS of the emitted waveform
+    TARGET_RMS = 0.125
+
+    def __init__(self, config: OfdmConfig) -> None:
+        self.config = config
+        self.constellation = Constellation(config.constellation_order)
+        rng = derive_rng(config.pn_seed, "ofdm-pn")
+        qpsk = np.exp(1j * (np.pi / 4 + np.pi / 2 * rng.integers(0, 4, config.num_subcarriers)))
+        self._training_symbols = qpsk
+        pilot_vals = np.exp(
+            1j * (np.pi / 4 + np.pi / 2 * rng.integers(0, 4, config.pilot_positions.size))
+        )
+        self._pilot_symbols = pilot_vals
+        # Time-domain scale so unit-power bins hit TARGET_RMS.
+        n_active = config.num_subcarriers
+        natural_rms = np.sqrt(2.0 * n_active) / config.fft_size
+        self._scale = self.TARGET_RMS / natural_rms
+
+    # -- helpers -------------------------------------------------------------
+
+    def _symbol_to_time(self, active_values: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        spectrum = np.zeros(cfg.fft_size // 2 + 1, dtype=np.complex128)
+        spectrum[cfg.active_bins] = active_values
+        time_sig = np.fft.irfft(spectrum, cfg.fft_size) * self._scale
+        return np.concatenate([time_sig[-cfg.cp_len :], time_sig])
+
+    def n_symbols_for_bits(self, n_bits: int) -> int:
+        """OFDM symbols needed to carry ``n_bits`` payload bits."""
+        return -(-n_bits // self.config.bits_per_symbol)
+
+    # -- modulation ------------------------------------------------------------
+
+    def training_waveform(self) -> np.ndarray:
+        """The known channel-estimation symbol that starts every frame."""
+        return self._symbol_to_time(self._training_symbols)
+
+    def modulate_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Map payload bits onto data subcarriers and synthesise audio.
+
+        Bits are zero-padded to fill the final OFDM symbol.  The output
+        does *not* include the training symbol; see
+        :meth:`repro.modem.modem.Modem.transmit_frame` for full framing.
+        """
+        cfg = self.config
+        bits = np.asarray(bits, dtype=np.uint8)
+        per_sym = cfg.bits_per_symbol
+        n_sym = self.n_symbols_for_bits(bits.size)
+        padded = np.zeros(n_sym * per_sym, dtype=np.uint8)
+        padded[: bits.size] = bits
+        symbols = self.constellation.map_bits(padded).reshape(
+            n_sym, cfg.n_data_subcarriers
+        )
+        chunks = []
+        for row in symbols:
+            active = np.zeros(cfg.num_subcarriers, dtype=np.complex128)
+            active[cfg.pilot_positions] = self._pilot_symbols
+            active[cfg.data_positions] = row
+            chunks.append(self._symbol_to_time(active))
+        return np.concatenate(chunks)
+
+    # -- demodulation ------------------------------------------------------------
+
+    def demodulate(
+        self, samples: np.ndarray, start: int, n_symbols: int
+    ) -> OfdmDemodResult:
+        """Demodulate ``n_symbols`` payload symbols.
+
+        ``start`` indexes the first sample of the *training* symbol's
+        cyclic prefix.  Raises ``ValueError`` when the buffer is too short.
+        """
+        cfg = self.config
+        samples = np.asarray(samples, dtype=np.float64)
+        needed = start + (n_symbols + 1) * cfg.symbol_len
+        if start < 0 or needed > samples.size:
+            raise ValueError("sample buffer too short for requested symbols")
+
+        def fft_active(sym_index: int) -> np.ndarray:
+            base = start + sym_index * cfg.symbol_len + cfg.cp_len
+            window = samples[base : base + cfg.fft_size]
+            return np.fft.rfft(window)[cfg.active_bins] / self._scale
+
+        # Channel estimate from the training symbol.
+        h = fft_active(0) / self._training_symbols
+        # Guard against dead bins (channel nulls) blowing up equalisation.
+        h_mag = np.abs(h)
+        floor = max(1e-6, 0.01 * float(np.median(h_mag)))
+        h = np.where(h_mag < floor, floor, h)
+
+        grids = np.zeros((n_symbols, cfg.n_data_subcarriers), dtype=np.complex128)
+        pilot_err = []
+        for i in range(n_symbols):
+            raw = fft_active(i + 1)
+            eq = raw / h
+            pilots = eq[cfg.pilot_positions]
+            ref = self._pilot_symbols
+            # Track the residual complex gain (phase *and* amplitude) so
+            # slow channel flutter between training and payload symbols
+            # does not skew the QAM decision grid.
+            gain = np.sum(pilots * np.conj(ref)) / np.sum(np.abs(ref) ** 2)
+            if abs(gain) < 1e-3:
+                gain = 1.0
+            eq = eq / gain
+            grids[i] = eq[cfg.data_positions]
+            pilot_err.append(eq[cfg.pilot_positions] - ref)
+
+        err = np.concatenate(pilot_err)
+        noise_var = float(np.mean(np.abs(err) ** 2))
+        noise_var = max(noise_var, 1e-9)
+        snr_db = float(10 * np.log10(1.0 / noise_var)) if noise_var > 0 else 90.0
+        return OfdmDemodResult(grids, noise_var, snr_db)

@@ -1,0 +1,47 @@
+"""FM radio substrate.
+
+Models the full broadcast path the SONIC prototype uses: the audio
+program (the modem waveform) rides the mono channel of the FM baseband
+multiplex (Figure 2 of the paper), is frequency-modulated onto an RF
+carrier, crosses a propagation channel whose received signal strength
+(RSSI) follows distance, and is FM-demodulated and de-multiplexed back to
+audio at the receiver.  The final hop — FM radio speaker to phone
+microphone — is a separate acoustic channel.
+"""
+
+from repro.radio.fm import FmModulator, FmDemodulator
+from repro.radio.multiplex import FmMultiplexer, MultiplexConfig
+from repro.radio.propagation import (
+    PropagationModel,
+    friis_path_loss_db,
+    rssi_at_distance,
+)
+from repro.radio.channels import (
+    AcousticChannel,
+    AcousticConfig,
+    FmRadioLink,
+    FmLinkConfig,
+)
+from repro.radio.rds import RdsEncoder, RdsDecoder, RdsGroup
+from repro.radio.darc import DarcChannel, DarcConfig
+from repro.radio.lossmodel import FrameLossModel
+
+__all__ = [
+    "FmModulator",
+    "FmDemodulator",
+    "FmMultiplexer",
+    "MultiplexConfig",
+    "PropagationModel",
+    "friis_path_loss_db",
+    "rssi_at_distance",
+    "AcousticChannel",
+    "AcousticConfig",
+    "FmRadioLink",
+    "FmLinkConfig",
+    "RdsEncoder",
+    "RdsDecoder",
+    "RdsGroup",
+    "DarcChannel",
+    "DarcConfig",
+    "FrameLossModel",
+]

@@ -1,0 +1,86 @@
+"""Frequency modulation and demodulation at complex baseband.
+
+The RF carrier (93.7 MHz in the paper's prototype) is modelled at complex
+baseband: the modulator integrates the multiplex signal into a phase and
+the demodulator differentiates it back.  This keeps every FM artefact
+that matters to SONIC — most importantly the *threshold effect*: as the
+carrier-to-noise ratio drops below ~10 dB the discriminator output
+degrades abruptly into impulsive clicks, which is why the paper sees no
+frames at all below −90 dB RSSI rather than a graceful fade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.filters import resample
+
+__all__ = ["FmModulator", "FmDemodulator"]
+
+
+class FmModulator:
+    """FM modulator: real multiplex signal -> complex baseband carrier."""
+
+    def __init__(
+        self,
+        mpx_rate: float = 192_000.0,
+        rf_rate: float = 384_000.0,
+        max_deviation_hz: float = 75_000.0,
+    ) -> None:
+        if rf_rate < mpx_rate:
+            raise ValueError("RF rate must be >= multiplex rate")
+        ratio = rf_rate / mpx_rate
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ValueError("rf_rate must be an integer multiple of mpx_rate")
+        self.mpx_rate = mpx_rate
+        self.rf_rate = rf_rate
+        self.max_deviation_hz = max_deviation_hz
+        self._up = int(round(ratio))
+
+    def modulate(self, mpx: np.ndarray) -> np.ndarray:
+        """Return the unit-amplitude complex envelope of the FM signal.
+
+        ``mpx`` should be normalised to [-1, 1]; full scale maps to the
+        maximum deviation (±75 kHz broadcast standard).
+        """
+        mpx = np.asarray(mpx, dtype=np.float64)
+        rf_in = resample(mpx, self._up, 1) if self._up > 1 else mpx
+        phase = (
+            2.0
+            * np.pi
+            * self.max_deviation_hz
+            * np.cumsum(rf_in)
+            / self.rf_rate
+        )
+        return np.exp(1j * phase)
+
+
+class FmDemodulator:
+    """FM discriminator: complex baseband carrier -> multiplex signal."""
+
+    def __init__(
+        self,
+        mpx_rate: float = 192_000.0,
+        rf_rate: float = 384_000.0,
+        max_deviation_hz: float = 75_000.0,
+    ) -> None:
+        ratio = rf_rate / mpx_rate
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ValueError("rf_rate must be an integer multiple of mpx_rate")
+        self.mpx_rate = mpx_rate
+        self.rf_rate = rf_rate
+        self.max_deviation_hz = max_deviation_hz
+        self._down = int(round(ratio))
+
+    def demodulate(self, iq: np.ndarray) -> np.ndarray:
+        """Recover the multiplex signal from the complex envelope."""
+        iq = np.asarray(iq, dtype=np.complex128)
+        if iq.size < 2:
+            return np.zeros(0)
+        # Phase-difference discriminator; scale back to [-1, 1] full scale.
+        delta = np.angle(iq[1:] * np.conj(iq[:-1]))
+        mpx_rf = delta * self.rf_rate / (2.0 * np.pi * self.max_deviation_hz)
+        mpx_rf = np.concatenate([[mpx_rf[0]], mpx_rf])
+        if self._down > 1:
+            return resample(mpx_rf, 1, self._down)
+        return mpx_rf

@@ -1,0 +1,105 @@
+"""Fast frame-loss model fitted to the full DSP chain.
+
+Running every broadcast through the OFDM modem + FM chain is the ground
+truth, but system-level simulations (hours of air time, many clients)
+need a cheaper equivalent.  This model reduces the chain to:
+
+1. the audio-SNR a receiver sees (from RSSI via the FM threshold curve,
+   or from air distance via the acoustic model), and
+2. a logistic frame-error curve fitted to measured decode outcomes of
+   the ``sonic-ofdm`` profile under AWGN (see tests/test_lossmodel.py
+   for the fit's validation against the real chain).
+
+Both fits are calibration constants of this reproduction, documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.radio.channels import AcousticChannel, AcousticConfig
+from repro.util.rng import derive_rng
+
+__all__ = ["FrameLossModel"]
+
+#: Logistic frame-error fit for the sonic-ofdm profile (AWGN).
+_FER_MIDPOINT_DB = 3.3
+_FER_SCALE_DB = 0.45
+
+#: FM threshold curve: audio SNR as a function of RSSI (dB).
+_FM_LINEAR_OFFSET_DB = 100.0
+_FM_THRESHOLD_RSSI = -85.0
+_FM_COLLAPSE_SLOPE = 3.0
+
+
+@dataclass
+class FrameLossModel:
+    """Per-frame loss probabilities consistent with the DSP chain."""
+
+    acoustic: AcousticConfig = AcousticConfig()
+    seed: int = 0
+
+    def frame_error_probability(self, snr_db: float) -> float:
+        """FER of one frame at a given audio SNR."""
+        z = (snr_db - _FER_MIDPOINT_DB) / _FER_SCALE_DB
+        # Clamp to avoid overflow in exp for extreme SNRs.
+        z = float(np.clip(z, -40.0, 40.0))
+        return 1.0 / (1.0 + np.exp(z))
+
+    def audio_snr_from_rssi(self, rssi_db: float) -> float:
+        """FM receiver output SNR vs RSSI, with the threshold collapse.
+
+        Above threshold the discriminator is linear (audio SNR tracks
+        RSSI); below it, impulsive clicks collapse the output roughly
+        three times faster — which is why the paper sees nothing at all
+        below −90 dB.
+        """
+        linear = rssi_db + _FM_LINEAR_OFFSET_DB
+        if rssi_db >= _FM_THRESHOLD_RSSI:
+            return linear
+        margin = _FM_THRESHOLD_RSSI - rssi_db
+        return (_FM_THRESHOLD_RSSI + _FM_LINEAR_OFFSET_DB) - _FM_COLLAPSE_SLOPE * margin
+
+    # -- transmission-level draws ------------------------------------------------
+
+    def frame_losses_at_distance(
+        self, n_frames: int, distance_m: float, call: int = 0
+    ) -> np.ndarray:
+        """Boolean loss vector for ``n_frames`` sent over an air gap.
+
+        Mirrors :class:`repro.radio.channels.AcousticChannel`: one
+        misalignment draw per transmission, flutter per ~0.25 s knot
+        (about one frame), independent Bernoulli per frame.
+        """
+        rng = derive_rng(self.seed, "lossmodel-air", call)
+        channel = AcousticChannel(self.acoustic)
+        if distance_m <= 0:
+            snr = self.acoustic.cable_snr_db
+            p = self.frame_error_probability(snr)
+            return rng.random(n_frames) < p
+        base = channel.effective_snr_db(distance_m, rng)
+        sigma = (
+            self.acoustic.flutter_sigma_base_db
+            + self.acoustic.flutter_sigma_db_per_m * distance_m
+        )
+        flutter = rng.normal(0.0, sigma, n_frames)
+        probs = np.array(
+            [self.frame_error_probability(base + f) for f in flutter]
+        )
+        return rng.random(n_frames) < probs
+
+    def frame_losses_at_rssi(
+        self, n_frames: int, rssi_db: float, call: int = 0
+    ) -> np.ndarray:
+        """Boolean loss vector for frames received at a given RSSI."""
+        rng = derive_rng(self.seed, "lossmodel-rssi", call)
+        snr = self.audio_snr_from_rssi(rssi_db)
+        # Small per-frame wobble: multipath and interleaving residue.
+        wobble = rng.normal(0.0, 0.8, n_frames)
+        probs = np.array(
+            [self.frame_error_probability(snr + w) for w in wobble]
+        )
+        return rng.random(n_frames) < probs

@@ -1,0 +1,184 @@
+"""The FM baseband multiplex (Figure 2 of the paper).
+
+A broadcast FM station stacks several services into one baseband signal:
+
+* 30 Hz – 15 kHz: the mono program, (L+R)/2 — where SONIC puts its data;
+* 19 kHz: the stereo pilot tone;
+* 23 – 53 kHz: the stereo difference (L−R), DSB-SC around 38 kHz;
+* 57 kHz: the RDS subcarrier (see :mod:`repro.radio.rds`).
+
+SONIC transmits in the mono channel with a 9.2 kHz-centred OFDM carrier,
+so the multiplexer/demultiplexer pair here is what places the modem's
+audio onto the FM baseband and recovers it at the receiver.  The unused
+bands (stereo, RDS, DARC) are the "other bands" the paper proposes for
+future rate increases — composing data into them is supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.filters import fir_bandpass, fir_lowpass, filter_signal, resample
+
+__all__ = ["MultiplexConfig", "FmMultiplexer"]
+
+
+@dataclass(frozen=True)
+class MultiplexConfig:
+    """Standard broadcast FM multiplex dimensioning."""
+
+    audio_rate: float = 48_000.0
+    mpx_rate: float = 192_000.0
+    mono_cutoff_hz: float = 15_000.0
+    pilot_hz: float = 19_000.0
+    stereo_center_hz: float = 38_000.0
+    rds_center_hz: float = 57_000.0
+    darc_center_hz: float = 76_000.0
+    pilot_level: float = 0.09
+    mono_level: float = 0.45
+    stereo_level: float = 0.45
+    rds_level: float = 0.05
+    darc_level: float = 0.05
+
+    def __post_init__(self) -> None:
+        ratio = self.mpx_rate / self.audio_rate
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ValueError("mpx_rate must be an integer multiple of audio_rate")
+
+
+class FmMultiplexer:
+    """Compose and decompose the FM baseband multiplex."""
+
+    def __init__(self, config: MultiplexConfig = MultiplexConfig()) -> None:
+        self.config = config
+        self._up = int(round(config.mpx_rate / config.audio_rate))
+        self._mono_lp_audio = fir_lowpass(
+            config.mono_cutoff_hz, config.audio_rate, 127
+        )
+        self._mono_lp_mpx = fir_lowpass(
+            config.mono_cutoff_hz + 1_000.0, config.mpx_rate, 511
+        )
+        self._pilot_bp = fir_bandpass(
+            config.pilot_hz - 400.0, config.pilot_hz + 400.0, config.mpx_rate, 511
+        )
+        self._stereo_bp = fir_bandpass(
+            config.stereo_center_hz - config.mono_cutoff_hz,
+            config.stereo_center_hz + config.mono_cutoff_hz,
+            config.mpx_rate,
+            511,
+        )
+        self._rds_bp = fir_bandpass(
+            config.rds_center_hz - 2_400.0,
+            config.rds_center_hz + 2_400.0,
+            config.mpx_rate,
+            511,
+        )
+        self._darc_bp = fir_bandpass(
+            config.darc_center_hz - 14_000.0,
+            config.darc_center_hz + 14_000.0,
+            config.mpx_rate,
+            511,
+        )
+
+    # -- compose ----------------------------------------------------------
+
+    def compose(
+        self,
+        mono: np.ndarray,
+        stereo_diff: np.ndarray | None = None,
+        rds: np.ndarray | None = None,
+        darc: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Build the multiplex from per-service signals.
+
+        ``mono`` and ``stereo_diff`` are at the audio rate; ``rds`` is
+        already a 57 kHz-centred signal at the multiplex rate (as produced
+        by :class:`repro.radio.rds.RdsEncoder`).
+        """
+        cfg = self.config
+        mono = filter_signal(self._mono_lp_audio, np.asarray(mono, dtype=np.float64))
+        mpx = cfg.mono_level * resample(mono, self._up, 1)
+        for sidecar in (rds, darc):
+            if sidecar is not None and sidecar.size > mpx.size:
+                # Let a subcarrier tail outlast the audio program.
+                mpx = np.concatenate([mpx, np.zeros(sidecar.size - mpx.size)])
+        n = mpx.size
+        t = np.arange(n) / cfg.mpx_rate
+        if stereo_diff is not None or rds is not None:
+            mpx = mpx + cfg.pilot_level * np.sin(2 * np.pi * cfg.pilot_hz * t)
+        if stereo_diff is not None:
+            diff = filter_signal(
+                self._mono_lp_audio, np.asarray(stereo_diff, dtype=np.float64)
+            )
+            diff_mpx = resample(diff, self._up, 1)[:n]
+            if diff_mpx.size < n:
+                diff_mpx = np.concatenate([diff_mpx, np.zeros(n - diff_mpx.size)])
+            # cos at 38 kHz: exactly what squaring the 19 kHz sine pilot
+            # regenerates at the receiver (phase-locked by construction).
+            carrier = np.cos(2 * np.pi * cfg.stereo_center_hz * t)
+            mpx = mpx + cfg.stereo_level * diff_mpx * carrier
+        if rds is not None:
+            rds = np.asarray(rds, dtype=np.float64)
+            usable = min(n, rds.size)
+            mpx[:usable] += cfg.rds_level * rds[:usable]
+        if darc is not None:
+            darc = np.asarray(darc, dtype=np.float64)
+            usable = min(n, darc.size)
+            mpx[:usable] += cfg.darc_level * darc[:usable]
+        return mpx
+
+    # -- decompose ----------------------------------------------------------
+
+    def extract_mono(self, mpx: np.ndarray) -> np.ndarray:
+        """Recover the mono program at the audio rate."""
+        cfg = self.config
+        mono_mpx = filter_signal(self._mono_lp_mpx, np.asarray(mpx, dtype=np.float64))
+        audio = resample(mono_mpx, 1, self._up)
+        return audio / cfg.mono_level
+
+    def extract_pilot(self, mpx: np.ndarray) -> np.ndarray:
+        """The 19 kHz pilot tone (multiplex rate)."""
+        return filter_signal(self._pilot_bp, np.asarray(mpx, dtype=np.float64))
+
+    def extract_stereo_diff(self, mpx: np.ndarray) -> np.ndarray:
+        """Recover L-R at the audio rate using a pilot-derived 38 kHz carrier."""
+        cfg = self.config
+        mpx = np.asarray(mpx, dtype=np.float64)
+        band = filter_signal(self._stereo_bp, mpx)
+        pilot = self.extract_pilot(mpx)
+        # Square the pilot to regenerate a phase-locked 38 kHz reference:
+        # sin(wt)^2 = (1 - cos(2wt)) / 2, so 1 - 2*sin^2 = cos(2wt).
+        pilot_norm = pilot / max(1e-9, np.sqrt(2.0 * np.mean(pilot**2)))
+        carrier = 1.0 - 2.0 * pilot_norm**2
+        carrier_bp = filter_signal(
+            fir_bandpass(
+                cfg.stereo_center_hz - 1_000,
+                cfg.stereo_center_hz + 1_000,
+                cfg.mpx_rate,
+                511,
+            ),
+            carrier,
+        )
+        scale = np.sqrt(2.0 * np.mean(carrier_bp**2))
+        carrier_bp = carrier_bp / max(1e-9, scale)
+        demod = band * carrier_bp * 2.0
+        diff = resample(filter_signal(self._mono_lp_mpx, demod), 1, self._up)
+        return diff / cfg.stereo_level
+
+    def extract_rds_band(self, mpx: np.ndarray) -> np.ndarray:
+        """The 57 kHz RDS band (multiplex rate), level-normalised."""
+        band = filter_signal(self._rds_bp, np.asarray(mpx, dtype=np.float64))
+        return band / self.config.rds_level
+
+    def extract_darc_band(self, mpx: np.ndarray) -> np.ndarray:
+        """The 76 kHz DARC band (multiplex rate), level-normalised."""
+        band = filter_signal(self._darc_bp, np.asarray(mpx, dtype=np.float64))
+        return band / self.config.darc_level
+
+    def has_pilot(self, mpx: np.ndarray) -> bool:
+        """Detect whether a stereo pilot is present."""
+        pilot = self.extract_pilot(mpx)
+        total = float(np.mean(np.asarray(mpx, dtype=np.float64) ** 2))
+        return float(np.mean(pilot**2)) > 1e-4 * max(total, 1e-12)

@@ -1,0 +1,96 @@
+"""RF propagation and RSSI modelling.
+
+The paper's "Variable RSSI" experiment walks a TR508 transmitter/receiver
+pair apart until the RSSI falls from −65 to below −90 dB, observing no
+frame loss down to −85 dB, 2–15 % in the −85…−90 dB band, and total loss
+below −90 dB.  This module provides the distance → RSSI → carrier-to-
+noise mapping that reproduces those bands through the actual FM chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "friis_path_loss_db",
+    "rssi_at_distance",
+    "PropagationModel",
+]
+
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+def friis_path_loss_db(distance_m: float, frequency_hz: float) -> float:
+    """Free-space path loss in dB.
+
+    >>> round(friis_path_loss_db(1000, 93.7e6), 1)
+    71.9
+    """
+    if distance_m <= 0 or frequency_hz <= 0:
+        raise ValueError("distance and frequency must be positive")
+    wavelength = SPEED_OF_LIGHT / frequency_hz
+    return float(20.0 * np.log10(4.0 * np.pi * distance_m / wavelength))
+
+
+def rssi_at_distance(
+    tx_power_dbm: float,
+    distance_m: float,
+    frequency_hz: float = 93.7e6,
+    path_loss_exponent: float = 2.0,
+    reference_m: float = 1.0,
+) -> float:
+    """RSSI via a log-distance path-loss model anchored at ``reference_m``.
+
+    ``path_loss_exponent`` of 2 is free space; indoor/cluttered
+    environments run 2.7-4, which is how a 1 km-rated transmitter ends up
+    at -90 dB well before a kilometre.
+    """
+    if distance_m < reference_m:
+        distance_m = reference_m
+    ref_loss = friis_path_loss_db(reference_m, frequency_hz)
+    extra = 10.0 * path_loss_exponent * np.log10(distance_m / reference_m)
+    return float(tx_power_dbm - ref_loss - extra)
+
+
+@dataclass(frozen=True)
+class PropagationModel:
+    """A transmitter + environment, mapping distance to RSSI and CNR.
+
+    The defaults model the paper's TR508 low-power station: roughly
+    -65 dB RSSI at ~25 m, crossing -90 dB before the 1 km rated range in
+    a cluttered environment.
+    """
+
+    # TR508-class station: effective radiated power after the stub
+    # antenna and indoor penetration losses, calibrated so the paper's
+    # RSSI walk (-65 dB near the unit, below -90 dB before the 1 km
+    # rated range) happens at plausible distances.
+    tx_power_dbm: float = -13.5
+    frequency_hz: float = 93.7e6
+    path_loss_exponent: float = 2.2
+    noise_floor_dbm: float = -95.0  # receiver noise in the FM bandwidth
+    shadowing_sigma_db: float = 0.0  # optional log-normal shadowing
+
+    def rssi_dbm(self, distance_m: float, rng: np.random.Generator | None = None) -> float:
+        """RSSI at a distance, with optional shadowing."""
+        rssi = rssi_at_distance(
+            self.tx_power_dbm,
+            distance_m,
+            self.frequency_hz,
+            self.path_loss_exponent,
+        )
+        if self.shadowing_sigma_db > 0 and rng is not None:
+            rssi += float(rng.normal(0.0, self.shadowing_sigma_db))
+        return rssi
+
+    def cnr_db(self, rssi_dbm: float) -> float:
+        """Carrier-to-noise ratio the FM receiver sees at this RSSI."""
+        return rssi_dbm - self.noise_floor_dbm
+
+    def distance_for_rssi(self, rssi_dbm: float) -> float:
+        """Invert the (deterministic) path-loss model."""
+        ref_loss = friis_path_loss_db(1.0, self.frequency_hz)
+        extra = self.tx_power_dbm - ref_loss - rssi_dbm
+        return float(10.0 ** (extra / (10.0 * self.path_loss_exponent)))

@@ -1,0 +1,12 @@
+"""Figure generation: dependency-free SVG charts.
+
+The benchmarks print tables, but the paper's artifacts are *figures*;
+this package renders line charts, CDFs and boxplots as standalone SVG
+files (no matplotlib available offline) so every reproduced figure has a
+visual counterpart under ``benchmarks/output/``.
+"""
+
+from repro.report.svg import SvgCanvas
+from repro.report.plots import box_plot, cdf_chart, line_chart
+
+__all__ = ["SvgCanvas", "line_chart", "cdf_chart", "box_plot"]

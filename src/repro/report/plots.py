@@ -1,0 +1,178 @@
+"""Chart builders on top of :class:`repro.report.svg.SvgCanvas`.
+
+Just enough chart grammar for the paper's figures: multi-series line
+charts (Figure 4(c)), CDFs (Figure 4(b)), and grouped boxplots
+(Figures 4(a) and 5).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.report.svg import SvgCanvas
+
+__all__ = ["line_chart", "cdf_chart", "box_plot"]
+
+_PALETTE = ["#1565c0", "#e65100", "#2e7d32", "#8e24aa", "#c62828", "#00838f"]
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 20, 36, 52
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 5) -> list[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / target
+    magnitude = 10 ** np.floor(np.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if raw <= step:
+            break
+    first = np.ceil(lo / step) * step
+    return [float(v) for v in np.arange(first, hi + step / 2, step)]
+
+
+class _Axes:
+    """Maps data coordinates to canvas pixels and draws the frame."""
+
+    def __init__(
+        self,
+        canvas: SvgCanvas,
+        x_range: tuple[float, float],
+        y_range: tuple[float, float],
+        title: str,
+        x_label: str,
+        y_label: str,
+    ) -> None:
+        self.canvas = canvas
+        self.x0, self.x1 = x_range
+        self.y0, self.y1 = y_range
+        self.px0, self.px1 = _MARGIN_L, canvas.width - _MARGIN_R
+        self.py0, self.py1 = canvas.height - _MARGIN_B, _MARGIN_T
+        canvas.text(canvas.width / 2, 20, title, size=13, anchor="middle")
+        canvas.text(canvas.width / 2, canvas.height - 10, x_label, anchor="middle")
+        canvas.text(16, canvas.height / 2, y_label, anchor="middle", rotate=-90)
+        canvas.rect(self.px0, self.py1, self.px1 - self.px0, self.py0 - self.py1)
+        for tick in _nice_ticks(self.y0, self.y1):
+            y = self.py(tick)
+            if self.py1 - 1 <= y <= self.py0 + 1:
+                canvas.line(self.px0, y, self.px1, y, stroke="#ddd")
+                canvas.text(self.px0 - 6, y + 4, f"{tick:g}", anchor="end", size=10)
+        for tick in _nice_ticks(self.x0, self.x1):
+            x = self.px(tick)
+            if self.px0 - 1 <= x <= self.px1 + 1:
+                canvas.line(x, self.py0, x, self.py0 + 4)
+                canvas.text(x, self.py0 + 16, f"{tick:g}", anchor="middle", size=10)
+
+    def px(self, x: float) -> float:
+        span = self.x1 - self.x0 or 1.0
+        return self.px0 + (x - self.x0) / span * (self.px1 - self.px0)
+
+    def py(self, y: float) -> float:
+        span = self.y1 - self.y0 or 1.0
+        return self.py0 - (y - self.y0) / span * (self.py0 - self.py1)
+
+
+def _legend(canvas: SvgCanvas, labels: list[str]) -> None:
+    x = _MARGIN_L + 10
+    y = _MARGIN_T + 14
+    for i, label in enumerate(labels):
+        color = _PALETTE[i % len(_PALETTE)]
+        canvas.line(x, y - 4, x + 18, y - 4, stroke=color, width=2.5)
+        canvas.text(x + 24, y, label, size=10)
+        y += 15
+
+
+def line_chart(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    path: str | Path,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    size: tuple[int, int] = (640, 360),
+) -> None:
+    """Multi-series line chart; ``series`` maps label -> (x, y) arrays."""
+    if not series:
+        raise ValueError("need at least one series")
+    xs = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    canvas = SvgCanvas(*size)
+    axes = _Axes(
+        canvas,
+        (float(xs.min()), float(xs.max())),
+        (min(0.0, float(ys.min())), float(ys.max()) * 1.05),
+        title, x_label, y_label,
+    )
+    for i, (label, (x, y)) in enumerate(series.items()):
+        color = _PALETTE[i % len(_PALETTE)]
+        points = [(axes.px(a), axes.py(b)) for a, b in zip(x, y)]
+        canvas.polyline(points, stroke=color)
+    _legend(canvas, list(series))
+    canvas.save(path)
+
+
+def cdf_chart(
+    samples: dict[str, np.ndarray],
+    path: str | Path,
+    title: str = "",
+    x_label: str = "",
+    size: tuple[int, int] = (640, 360),
+) -> None:
+    """Empirical CDFs of several sample sets."""
+    if not samples:
+        raise ValueError("need at least one sample set")
+    all_values = np.concatenate([np.asarray(v, dtype=float) for v in samples.values()])
+    canvas = SvgCanvas(*size)
+    axes = _Axes(
+        canvas,
+        (float(all_values.min()), float(all_values.max())),
+        (0.0, 1.0),
+        title, x_label, "CDF",
+    )
+    for i, (label, values) in enumerate(samples.items()):
+        ordered = np.sort(np.asarray(values, dtype=float))
+        fractions = np.arange(1, ordered.size + 1) / ordered.size
+        points = [(axes.px(v), axes.py(f)) for v, f in zip(ordered, fractions)]
+        canvas.polyline(points, stroke=_PALETTE[i % len(_PALETTE)])
+    _legend(canvas, list(samples))
+    canvas.save(path)
+
+
+def box_plot(
+    groups: dict[str, np.ndarray],
+    path: str | Path,
+    title: str = "",
+    y_label: str = "",
+    size: tuple[int, int] = (640, 360),
+    colors: list[str] | None = None,
+) -> None:
+    """Boxplots (median, quartiles, min/max whiskers) per labelled group."""
+    if not groups:
+        raise ValueError("need at least one group")
+    all_values = np.concatenate([np.asarray(v, dtype=float) for v in groups.values()])
+    canvas = SvgCanvas(*size)
+    axes = _Axes(
+        canvas,
+        (0.0, float(len(groups))),
+        (min(0.0, float(all_values.min())), float(all_values.max()) * 1.08),
+        title, "", y_label,
+    )
+    palette = colors or _PALETTE
+    slot = (axes.px1 - axes.px0) / len(groups)
+    for i, (label, values) in enumerate(groups.items()):
+        values = np.asarray(values, dtype=float)
+        q1, median, q3 = np.percentile(values, [25, 50, 75])
+        lo, hi = float(values.min()), float(values.max())
+        cx = axes.px0 + (i + 0.5) * slot
+        half = min(22.0, slot * 0.3)
+        color = palette[i % len(palette)]
+        canvas.line(cx, axes.py(lo), cx, axes.py(q1), stroke="#555")
+        canvas.line(cx, axes.py(q3), cx, axes.py(hi), stroke="#555")
+        canvas.line(cx - half / 2, axes.py(lo), cx + half / 2, axes.py(lo), stroke="#555")
+        canvas.line(cx - half / 2, axes.py(hi), cx + half / 2, axes.py(hi), stroke="#555")
+        canvas.rect(cx - half, axes.py(q3), 2 * half, axes.py(q1) - axes.py(q3),
+                    fill=color, stroke="#333")
+        canvas.line(cx - half, axes.py(median), cx + half, axes.py(median),
+                    stroke="#111", width=2)
+        canvas.text(cx, axes.py0 + 16, label, anchor="middle", size=10)
+    canvas.save(path)

@@ -1,0 +1,82 @@
+"""A minimal SVG canvas."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["SvgCanvas"]
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+class SvgCanvas:
+    """Accumulates SVG elements; coordinates in pixels, y grows down."""
+
+    def __init__(self, width: int, height: int, background: str = "white") -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "#333", width: float = 1.0, dash: str | None = None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(self, points: list[tuple[float, float]], stroke: str = "#1565c0",
+                 width: float = 1.5) -> None:
+        if len(points) < 2:
+            return
+        joined = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{joined}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float,
+             fill: str = "none", stroke: str = "#333", width: float = 1.0) -> None:
+        self._parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def circle(self, cx: float, cy: float, r: float, fill: str = "#333") -> None:
+        self._parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{r:.1f}" fill="{fill}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, size: int = 11,
+             anchor: str = "start", color: str = "#222", rotate: float = 0.0) -> None:
+        transform = (
+            f' transform="rotate({rotate:.0f} {x:.1f} {y:.1f})"' if rotate else ""
+        )
+        self._parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{color}"{transform}>{_esc(content)}</text>'
+        )
+
+    def to_string(self) -> str:
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_string())

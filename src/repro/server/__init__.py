@@ -1,0 +1,23 @@
+"""The SONIC server (paper Section 3.1).
+
+Responsibilities: render requested webpages into screenshot bundles,
+cache them, pick the FM transmitter that covers the requesting user,
+queue broadcasts, answer requests over SMS with delivery estimates, and
+preemptively push the region's popular pages.
+"""
+
+from repro.server.cache import PageCache, CachedPage
+from repro.server.transmitters import Transmitter, TransmitterRegistry
+from repro.server.scheduler import PopularityScheduler, SchedulerConfig
+from repro.server.server import SonicServer, ServerConfig
+
+__all__ = [
+    "PageCache",
+    "CachedPage",
+    "Transmitter",
+    "TransmitterRegistry",
+    "PopularityScheduler",
+    "SchedulerConfig",
+    "SonicServer",
+    "ServerConfig",
+]

@@ -1,0 +1,74 @@
+"""Server-side page cache.
+
+"the SONIC server produces a simplified version of the webpage, either
+from its cache, e.g., if recently requested by another user, or by
+directly accessing it" (Section 3.1).  Entries carry the expiry the
+server later advertises to clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.transport.bundle import PageBundle
+
+__all__ = ["CachedPage", "PageCache"]
+
+
+@dataclass
+class CachedPage:
+    """One cached render."""
+
+    bundle: PageBundle
+    rendered_at: float  # simulation seconds
+    ttl_s: float
+    hits: int = 0
+
+    def fresh(self, now: float) -> bool:
+        return now - self.rendered_at < self.ttl_s
+
+
+class PageCache:
+    """URL-keyed cache with TTL expiry and LRU-style capacity eviction."""
+
+    def __init__(self, capacity: int = 500, default_ttl_s: float = 3600.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.default_ttl_s = default_ttl_s
+        self._entries: dict[str, CachedPage] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, url: str, now: float) -> CachedPage | None:
+        """A fresh entry, or None (stale entries are dropped on access)."""
+        entry = self._entries.get(url)
+        if entry is None:
+            return None
+        if not entry.fresh(now):
+            del self._entries[url]
+            return None
+        entry.hits += 1
+        return entry
+
+    def put(
+        self, bundle: PageBundle, now: float, ttl_s: float | None = None
+    ) -> CachedPage:
+        """Insert (or replace) a render; evicts the stalest when full."""
+        if len(self._entries) >= self.capacity and bundle.url not in self._entries:
+            victim = min(self._entries.values(), key=lambda e: e.rendered_at)
+            del self._entries[victim.bundle.url]
+        entry = CachedPage(bundle, now, ttl_s if ttl_s is not None else self.default_ttl_s)
+        self._entries[bundle.url] = entry
+        return entry
+
+    def expire(self, now: float) -> int:
+        """Drop all stale entries; returns how many were removed."""
+        stale = [url for url, e in self._entries.items() if not e.fresh(now)]
+        for url in stale:
+            del self._entries[url]
+        return len(stale)
+
+    def urls(self) -> list[str]:
+        return list(self._entries)

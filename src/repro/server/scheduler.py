@@ -1,0 +1,76 @@
+"""Preemptive popularity pushes.
+
+"[the server] maintains a list of the most popular websites in a region
+that are preemptively pushed to users in an attempt to improve their
+experience.  For example, popular news sites can be pushed early in the
+morning." (Section 3.1).  The scheduler decides, each hour, which corpus
+pages to re-render and queue — popular pages first, news boosted in the
+morning push window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.web.sites import SiteGenerator
+
+__all__ = ["SchedulerConfig", "PopularityScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Push policy knobs."""
+
+    max_pages_per_hour: int = 100  # airtime guard
+    morning_push_hours: tuple[int, ...] = (6, 7, 8)  # local hours
+    morning_news_boost: float = 3.0
+    request_priority: float = 100.0  # user requests outrank any push
+    refresh_top_n: int = 3  # unchanged popular pages rebroadcast hourly
+
+
+class PopularityScheduler:
+    """Ranks corpus pages for each hourly push."""
+
+    def __init__(
+        self, generator: SiteGenerator, config: SchedulerConfig = SchedulerConfig()
+    ) -> None:
+        self.generator = generator
+        self.config = config
+
+    def page_priority(self, url: str, hour: int) -> float:
+        """Push priority of a page at a given hour."""
+        domain = url.partition("/")[0]
+        site = self.generator.website(domain)
+        weight = site.weight
+        is_landing = url.endswith("/")
+        priority = weight * (2.0 if is_landing else 1.0)
+        if (
+            site.category == "news"
+            and hour % 24 in self.config.morning_push_hours
+        ):
+            priority *= self.config.morning_news_boost
+        return priority
+
+    def pages_to_push(self, hour: int) -> list[tuple[str, float]]:
+        """(url, priority) of pages to (re)broadcast this hour.
+
+        Hour 0 seeds the whole catalog; afterwards only changed pages
+        are queued, capped by the per-hour airtime guard.
+        """
+        urls = self.generator.all_urls()
+        if hour == 0:
+            due = list(urls)
+        else:
+            due = [u for u in urls if self.generator.changed_at(u, hour)]
+            # Rebroadcast the top unchanged pages so lossy receivers can
+            # fill reception gaps on a later carousel cycle.
+            unchanged = sorted(
+                (u for u in urls if u not in due),
+                key=lambda u: -self.page_priority(u, hour),
+            )
+            due.extend(unchanged[: self.config.refresh_top_n])
+        ranked = sorted(
+            ((u, self.page_priority(u, hour)) for u in due),
+            key=lambda pair: -pair[1],
+        )
+        return ranked[: self.config.max_pages_per_hour]

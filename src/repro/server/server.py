@@ -1,0 +1,313 @@
+"""The SONIC server: SMS requests in, FM broadcasts out (Section 3.1).
+
+Workflow for a request: parse the SMS, locate a transmitter covering the
+user, produce the page bundle (cache first, render otherwise), queue it
+on that transmitter's carousel ahead of the popularity pushes, and reply
+with an ACK carrying the airtime estimate.  An hourly tick re-renders
+changed popular pages and queues them as preemptive pushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.server.cache import PageCache
+from repro.server.scheduler import PopularityScheduler, SchedulerConfig
+from repro.server.transmitters import Transmitter, TransmitterRegistry
+from repro.sim.geometry import Location
+from repro.sms.gateway import SmsGateway
+from repro.sms.message import SmsMessage
+from repro.sms.protocol import (
+    PageRequest,
+    RequestAck,
+    RequestError,
+    SearchRequest,
+    parse_uplink,
+)
+from repro.transport.bundle import BundleTransport, PageBundle
+from repro.transport.carousel import CarouselItem
+from repro.web.dom import Heading, LinkList, Page, Paragraph
+from repro.web.render import PageRenderer
+from repro.web.sites import SiteGenerator
+
+__all__ = ["ServerConfig", "SonicServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Server behaviour knobs."""
+
+    sms_number: str = "+92300766421"
+    render_width: int = 1080
+    max_pixel_height: int | None = 10_000
+    quality: int = 10
+    cache_ttl_s: float = 4 * 3600.0
+    client_cache_hours: float = 24.0
+    unsupported_markers: tuple[str, ...] = ("login", "account", "bank", "signin")
+
+
+@dataclass
+class ServerStats:
+    """Counters for the evaluation harness."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    renders: int = 0
+    rejected: int = 0
+    pushes: int = 0
+    searches: int = 0
+
+
+class SonicServer:
+    """Central SONIC service tying web, cache, SMS, and transmitters."""
+
+    def __init__(
+        self,
+        generator: SiteGenerator,
+        transmitters: TransmitterRegistry,
+        gateway: SmsGateway,
+        config: ServerConfig = ServerConfig(),
+        scheduler_config: SchedulerConfig = SchedulerConfig(),
+    ) -> None:
+        self.generator = generator
+        self.transmitters = transmitters
+        self.gateway = gateway
+        self.config = config
+        self.cache = PageCache(default_ttl_s=config.cache_ttl_s)
+        self.scheduler = PopularityScheduler(generator, scheduler_config)
+        self.renderer = PageRenderer(
+            width=config.render_width, max_height=config.max_pixel_height
+        )
+        self._transport = BundleTransport()
+        self._page_ids: dict[str, int] = {}
+        self._encoded: dict[tuple[str, int], bytes] = {}
+        self.stats = ServerStats()
+        gateway.register(config.sms_number, self._on_sms)
+
+    # -- identifiers ------------------------------------------------------------
+
+    def page_id(self, url: str) -> int:
+        """Stable 16-bit id for a URL (frame headers carry it)."""
+        if url not in self._page_ids:
+            self._page_ids[url] = len(self._page_ids) % 65_536
+        return self._page_ids[url]
+
+    # -- rendering ------------------------------------------------------------
+
+    def render_bundle(self, url: str, now: float) -> tuple[PageBundle, bytes]:
+        """Produce (bundle, encoded bytes) for a URL at simulation time."""
+        hour = int(now // 3600)
+        page = self.generator.page(url, hour)
+        result = self.renderer.render(page)
+        bundle = PageBundle(
+            url,
+            result.image,
+            result.clickmap,
+            expiry_hours=self.config.client_cache_hours,
+            quality=self.config.quality,
+        )
+        data = bundle.to_bytes()
+        self.stats.renders += 1
+        epoch = self.generator.effective_epoch(url, hour)
+        # Keep only the freshest encode per URL: stale epochs are never
+        # broadcast again, and long simulations must not grow unbounded.
+        stale = [key for key in self._encoded if key[0] == url and key[1] != epoch]
+        for key in stale:
+            del self._encoded[key]
+        self._encoded[(url, epoch)] = data
+        return bundle, data
+
+    def bundle_for(self, url: str, now: float) -> tuple[PageBundle, bytes]:
+        """Cache-aware bundle production."""
+        cached = self.cache.get(url, now)
+        hour = int(now // 3600)
+        epoch = self.generator.effective_epoch(url, hour)
+        if cached is not None and (url, epoch) in self._encoded:
+            self.stats.cache_hits += 1
+            return cached.bundle, self._encoded[(url, epoch)]
+        bundle, data = self.render_bundle(url, now)
+        self.cache.put(bundle, now)
+        return bundle, data
+
+    # -- broadcasting ------------------------------------------------------------
+
+    def enqueue_broadcast(
+        self,
+        tx: Transmitter,
+        url: str,
+        data: bytes,
+        priority: float,
+        version: int = 0,
+        with_frames: bool = True,
+    ) -> None:
+        frames = (
+            self._transport.chunk(data, page_id=self.page_id(url), version=version)
+            if with_frames
+            else None
+        )
+        tx.carousel.enqueue(
+            CarouselItem(url, len(data), priority=priority, frames=frames)
+        )
+
+    # -- SMS handling ------------------------------------------------------------
+
+    def _reply(self, to: str, text: str, now: float) -> None:
+        self.gateway.submit(
+            SmsMessage(self.config.sms_number, to, text, submitted_at=now), now
+        )
+
+    def _on_sms(self, message: SmsMessage, now: float) -> None:
+        try:
+            request = parse_uplink(message.text)
+        except ValueError:
+            self.stats.rejected += 1
+            self._reply(message.sender, RequestError("-", "malformed").to_text(), now)
+            return
+        if isinstance(request, PageRequest):
+            self.handle_page_request(request, message.sender, now)
+        else:
+            self.handle_search(request, message.sender, now)
+
+    def handle_page_request(
+        self, request: PageRequest, sender: str, now: float
+    ) -> None:
+        """The paper's core request flow: validate, render, queue, ACK."""
+        self.stats.requests += 1
+        url = request.url
+        if any(marker in url for marker in self.config.unsupported_markers):
+            self.stats.rejected += 1
+            self._reply(sender, RequestError(url, "unsupported-auth").to_text(), now)
+            return
+        where = Location(request.lat, request.lon)
+        tx = self.transmitters.covering(where)
+        if tx is None:
+            self.stats.rejected += 1
+            self._reply(sender, RequestError(url, "no-coverage").to_text(), now)
+            return
+        try:
+            _bundle, data = self.bundle_for(url, now)
+        except KeyError:
+            self.stats.rejected += 1
+            self._reply(sender, RequestError(url, "unknown-site").to_text(), now)
+            return
+        hour = int(now // 3600)
+        self.enqueue_broadcast(
+            tx,
+            url,
+            data,
+            priority=self.scheduler.config.request_priority,
+            version=self.generator.effective_epoch(url, hour),
+        )
+        eta = tx.carousel.eta_seconds(url) or 0.0
+        self._reply(sender, RequestAck(url, eta).to_text(), now)
+
+    def handle_search(self, request: SearchRequest, sender: str, now: float) -> None:
+        """FIND: build a results page over the corpus and broadcast it."""
+        self.stats.searches += 1
+        where = Location(request.lat, request.lon)
+        tx = self.transmitters.covering(where)
+        if tx is None:
+            self.stats.rejected += 1
+            self._reply(sender, RequestError("search", "no-coverage").to_text(), now)
+            return
+        url = f"sonic.search/{'+'.join(request.query.lower().split())}"
+        results = self._search_corpus(request.query, now)
+        page = Page(
+            url=url,
+            title=f"Search: {request.query}",
+            elements=[
+                Heading(f"Results for '{request.query}'", level=1),
+                Paragraph(f"{len(results)} matching pages in the SONIC catalog."),
+                LinkList(tuple(results[:10])),
+            ],
+        )
+        rendered = self.renderer.render(page)
+        bundle = PageBundle(
+            url, rendered.image, rendered.clickmap,
+            expiry_hours=self.config.client_cache_hours, quality=self.config.quality,
+        )
+        data = bundle.to_bytes()
+        self.enqueue_broadcast(
+            tx, url, data, priority=self.scheduler.config.request_priority
+        )
+        eta = tx.carousel.eta_seconds(url) or 0.0
+        self._reply(sender, RequestAck(url, eta).to_text(), now)
+
+    def _search_corpus(self, query: str, now: float) -> list[tuple[str, str]]:
+        """Keyword search over page headlines (label, href)."""
+        hour = int(now // 3600)
+        terms = set(query.lower().split())
+        hits: list[tuple[int, str, str]] = []
+        for url in self.generator.all_urls():
+            page = self.generator.page(url, hour)
+            for el in page.elements:
+                if isinstance(el, Heading):
+                    words = set(el.text.lower().split())
+                    score = len(terms & words)
+                    if score:
+                        hits.append((score, el.text, url))
+                    break  # first heading is the headline
+        hits.sort(key=lambda h: -h[0])
+        return [(text, url) for _, text, url in hits]
+
+    # -- catalog announcements ------------------------------------------------
+
+    def broadcast_catalog(self, tx: Transmitter, now: float) -> int:
+        """Announce the transmitter's queue as METADATA frames.
+
+        Lets downlink-only users see what is coming and when (the
+        client app's "upcoming" view).  Returns the entry count.
+        """
+        from repro.transport.metadata import CatalogAnnouncement, CatalogEntryInfo
+
+        hour = int(now // 3600)
+        entries = []
+        for item in list(tx.carousel._queue):
+            version = (
+                item.frames[0].header.col if item.frames else
+                self.generator.effective_epoch(item.url, hour)
+                if self._known_url(item.url)
+                else 0
+            )
+            entries.append(
+                CatalogEntryInfo(
+                    url=item.url,
+                    page_id=self.page_id(item.url),
+                    version=version,
+                    size_bytes=item.size_bytes,
+                    eta_seconds=tx.carousel.eta_seconds(item.url) or 0.0,
+                )
+            )
+        announcement = CatalogAnnouncement(tx.station_id, entries)
+        frames = announcement.to_frames()
+        tx.carousel.enqueue(
+            CarouselItem(
+                f"sonic.catalog/{tx.station_id}",
+                len(frames) * 100,
+                priority=self.scheduler.config.request_priority * 2,
+                frames=frames,
+            )
+        )
+        return len(entries)
+
+    def _known_url(self, url: str) -> bool:
+        try:
+            self.generator.website(url.partition("/")[0])
+            return True
+        except KeyError:
+            return False
+
+    # -- hourly push ------------------------------------------------------------
+
+    def hourly_push(self, now: float) -> int:
+        """Render changed popular pages, queue on every transmitter."""
+        hour = int(now // 3600)
+        pushed = 0
+        for url, priority in self.scheduler.pages_to_push(hour):
+            _bundle, data = self.bundle_for(url, now)
+            version = self.generator.effective_epoch(url, hour)
+            for tx in self.transmitters.all():
+                self.enqueue_broadcast(tx, url, data, priority=priority, version=version)
+            pushed += 1
+        self.stats.pushes += pushed
+        return pushed

@@ -1,0 +1,70 @@
+"""FM transmitter fleet and geographic routing.
+
+"We assume that the FM radio infrastructure consists of multiple
+transmitters (and frequencies) at different locations ... the request
+contains the geographic location of the user [which] is needed by SONIC
+server to inform the proper transmitter along with its frequency"
+(Sections 3.1).  Each transmitter owns a broadcast carousel; requests
+are routed to the transmitter whose coverage disc contains the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.geometry import Location, distance_km
+from repro.transport.carousel import BroadcastCarousel
+
+__all__ = ["Transmitter", "TransmitterRegistry"]
+
+
+@dataclass
+class Transmitter:
+    """One FM station participating in SONIC."""
+
+    station_id: str
+    location: Location
+    frequency_mhz: float
+    coverage_km: float
+    rate_bps: float = 10_000.0
+    carousel: BroadcastCarousel = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 76.0 <= self.frequency_mhz <= 108.0:
+            raise ValueError(f"{self.frequency_mhz} MHz outside the FM band")
+        if self.coverage_km <= 0:
+            raise ValueError("coverage radius must be positive")
+        self.carousel = BroadcastCarousel(self.rate_bps)
+
+    def covers(self, where: Location) -> bool:
+        return distance_km(self.location, where) <= self.coverage_km
+
+
+class TransmitterRegistry:
+    """Lookup of transmitters by id and by user location."""
+
+    def __init__(self, transmitters: list[Transmitter] | None = None) -> None:
+        self._by_id: dict[str, Transmitter] = {}
+        for tx in transmitters or []:
+            self.add(tx)
+
+    def add(self, tx: Transmitter) -> None:
+        if tx.station_id in self._by_id:
+            raise ValueError(f"duplicate station id {tx.station_id}")
+        self._by_id[tx.station_id] = tx
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def get(self, station_id: str) -> Transmitter:
+        return self._by_id[station_id]
+
+    def all(self) -> list[Transmitter]:
+        return list(self._by_id.values())
+
+    def covering(self, where: Location) -> Transmitter | None:
+        """The nearest transmitter that covers ``where``, if any."""
+        candidates = [tx for tx in self._by_id.values() if tx.covers(where)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda tx: distance_km(tx.location, where))

@@ -1,0 +1,18 @@
+"""Simulation substrate: time, geometry, workload, and the user study."""
+
+from repro.sim.clock import SimClock
+from repro.sim.geometry import Location, distance_km
+from repro.sim.workload import BroadcastWorkload, WorkloadConfig, PageSizeModel
+from repro.sim.userstudy import UserStudy, StudyConfig, RatingRecord
+
+__all__ = [
+    "SimClock",
+    "Location",
+    "distance_km",
+    "BroadcastWorkload",
+    "WorkloadConfig",
+    "PageSizeModel",
+    "UserStudy",
+    "StudyConfig",
+    "RatingRecord",
+]

@@ -1,0 +1,74 @@
+"""Simulated time.
+
+All simulation components take explicit ``now`` timestamps (seconds);
+``SimClock`` is the single authority that advances them, so experiments
+are reproducible and can run days of broadcast schedule in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+import heapq
+
+__all__ = ["SimClock"]
+
+
+@dataclass(order=True)
+class _Event:
+    when: float
+    order: int
+    action: Callable[[float], None] = field(compare=False)
+
+
+class SimClock:
+    """Event-queue simulation clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._events: list[_Event] = []
+        self._counter = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def now_hours(self) -> float:
+        return self._now / 3600.0
+
+    def schedule(self, delay_s: float, action: Callable[[float], None]) -> None:
+        """Run ``action(now)`` after ``delay_s`` seconds of sim time."""
+        if delay_s < 0:
+            raise ValueError("cannot schedule in the past")
+        self._counter += 1
+        heapq.heappush(
+            self._events, _Event(self._now + delay_s, self._counter, action)
+        )
+
+    def schedule_every(
+        self, interval_s: float, action: Callable[[float], None]
+    ) -> None:
+        """Run ``action`` every ``interval_s``, starting one interval out."""
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+
+        def repeat(now: float) -> None:
+            action(now)
+            self.schedule(interval_s, repeat)
+
+        self.schedule(interval_s, repeat)
+
+    def advance_to(self, when: float) -> None:
+        """Run all events up to ``when`` and move time there."""
+        if when < self._now:
+            raise ValueError("time cannot go backwards")
+        while self._events and self._events[0].when <= when:
+            event = heapq.heappop(self._events)
+            self._now = event.when
+            event.action(self._now)
+        self._now = when
+
+    def advance(self, seconds: float) -> None:
+        """Advance relative to the current time."""
+        self.advance_to(self._now + seconds)

@@ -1,0 +1,42 @@
+"""Locations and coverage geometry.
+
+Requests carry the user's position so the server can pick the FM
+transmitter whose coverage disc contains them (Section 3.1).  A simple
+local equirectangular approximation is plenty at city scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Location", "distance_km"]
+
+_EARTH_RADIUS_KM = 6_371.0
+
+
+@dataclass(frozen=True)
+class Location:
+    """A point on Earth (degrees)."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90 <= self.lat <= 90 or not -180 <= self.lon <= 180:
+            raise ValueError(f"bad coordinates ({self.lat}, {self.lon})")
+
+
+def distance_km(a: Location, b: Location) -> float:
+    """Great-circle distance via the haversine formula.
+
+    >>> lahore = Location(31.5204, 74.3587)
+    >>> islamabad = Location(33.6844, 73.0479)
+    >>> 260 < distance_km(lahore, islamabad) < 280
+    True
+    """
+    phi1, phi2 = math.radians(a.lat), math.radians(b.lat)
+    dphi = phi2 - phi1
+    dlambda = math.radians(b.lon - a.lon)
+    h = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2
+    return 2 * _EARTH_RADIUS_KM * math.asin(math.sqrt(h))

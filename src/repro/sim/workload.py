@@ -1,0 +1,158 @@
+"""The three-day broadcast workload behind Figure 4(c).
+
+The paper rendered its 100-page corpus hourly for three days and plotted
+how much data waits to be broadcast as a function of the channel rate
+(10/20/40 kbps) and corpus size (N=100/200).  ``BroadcastWorkload``
+replays that schedule: every hour, pages whose content changed are
+(re)queued on the carousel at their freshly-encoded size; the carousel
+drains continuously at the configured rate.
+
+Page sizes come from a :class:`PageSizeModel` — by default a per-page
+log-normal calibrated against measured SWebp Q10/PH10k encodes of the
+same generator's pages (see EXPERIMENTS.md), optionally replaced by real
+measurements via :meth:`PageSizeModel.calibrate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.transport.carousel import BroadcastCarousel, CarouselItem
+from repro.util.rng import derive_rng
+from repro.web.sites import SiteGenerator
+
+__all__ = ["PageSizeModel", "WorkloadConfig", "BroadcastWorkload"]
+
+# Median Q10/PH10k encoded size (bytes) per category, calibrated against
+# SWebp measurements of the generator's corpus.
+_CATEGORY_MEDIAN_BYTES = {
+    "news": 300_000,
+    "sports": 280_000,
+    "portal": 260_000,
+    "ecommerce": 240_000,
+    "education": 180_000,
+    "government": 150_000,
+}
+_SIGMA = 0.35  # log-normal spread across pages
+_EPOCH_JITTER = 0.08  # hour-to-hour size wobble of the same page
+
+
+class PageSizeModel:
+    """Bytes-on-air of each (url, content epoch) pair."""
+
+    def __init__(self, generator: SiteGenerator, quality: int = 10) -> None:
+        self._gen = generator
+        self.quality = quality
+        self._measured: dict[str, int] = {}
+        # Quality scaling relative to Q10 (matches the Fig. 4(b) sweep).
+        self._quality_scale = {10: 1.0, 50: 1.8, 90: 3.4}.get(quality, 1.0)
+
+    def calibrate(self, measured: dict[str, int]) -> None:
+        """Replace modelled base sizes with real encoder measurements."""
+        self._measured.update(measured)
+
+    def base_size(self, url: str) -> int:
+        """The page's typical encoded size."""
+        if url in self._measured:
+            return self._measured[url]
+        domain = url.partition("/")[0]
+        category = self._gen.website(domain).category
+        rng = derive_rng(self._gen.seed, "size", url)
+        size = _CATEGORY_MEDIAN_BYTES[category] * float(
+            rng.lognormal(mean=0.0, sigma=_SIGMA)
+        )
+        return int(size * self._quality_scale)
+
+    def size_at(self, url: str, epoch: int) -> int:
+        """Size of the page's render at a specific content epoch."""
+        jitter = derive_rng(self._gen.seed, "size-jitter", url, epoch)
+        return int(self.base_size(url) * float(jitter.lognormal(0.0, _EPOCH_JITTER)))
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """One Figure 4(c) curve."""
+
+    rate_bps: float = 10_000.0
+    n_pages: int = 100  # 100 -> 25 sites, 200 -> 50 sites
+    n_hours: int = 72  # the paper collected 3 days
+    sample_minutes: int = 6  # backlog sampling resolution
+    seed: int = 42
+    quality: int = 10
+
+    @property
+    def n_sites(self) -> int:
+        if self.n_pages % 4 != 0:
+            raise ValueError("n_pages must be a multiple of 4 (1 landing + 3 internal)")
+        return self.n_pages // 4
+
+
+@dataclass
+class WorkloadResult:
+    """Backlog time series plus bookkeeping."""
+
+    times_hours: np.ndarray
+    backlog_mb: np.ndarray
+    enqueued_mb_per_hour: np.ndarray
+    completed_pages: int
+
+    def peak_backlog_mb(self) -> float:
+        return float(np.max(self.backlog_mb))
+
+    def fraction_time_empty(self) -> float:
+        """Share of samples with an empty queue (drained)."""
+        return float(np.mean(self.backlog_mb < 1e-6))
+
+
+class BroadcastWorkload:
+    """Replay the hourly re-render schedule against a carousel."""
+
+    def __init__(
+        self,
+        config: WorkloadConfig = WorkloadConfig(),
+        size_model: PageSizeModel | None = None,
+    ) -> None:
+        self.config = config
+        self.generator = SiteGenerator(seed=config.seed, n_sites=config.n_sites)
+        self.size_model = size_model or PageSizeModel(
+            self.generator, quality=config.quality
+        )
+
+    def run(self) -> WorkloadResult:
+        """Simulate the full horizon; returns the backlog series."""
+        cfg = self.config
+        urls = self.generator.all_urls()
+        # Popularity-ordered priorities: landing pages of top sites first.
+        priority = {url: 1.0 / (i + 1) for i, url in enumerate(urls)}
+        carousel = BroadcastCarousel(cfg.rate_bps)
+
+        times: list[float] = []
+        backlog: list[float] = []
+        hourly_mb: list[float] = []
+        step_s = cfg.sample_minutes * 60
+        samples_per_hour = 3600 // step_s
+
+        for hour in range(cfg.n_hours):
+            added = 0
+            for url in urls:
+                if hour == 0 or self.generator.changed_at(url, hour):
+                    epoch = self.generator.effective_epoch(url, hour)
+                    size = self.size_model.size_at(url, epoch)
+                    carousel.enqueue(
+                        CarouselItem(url, size, priority=priority[url])
+                    )
+                    added += size
+            hourly_mb.append(added / 1e6)
+            for k in range(samples_per_hour):
+                carousel.drain(step_s)
+                times.append(hour + (k + 1) / samples_per_hour)
+                backlog.append(carousel.backlog_bytes() / 1e6)
+
+        return WorkloadResult(
+            np.array(times),
+            np.array(backlog),
+            np.array(hourly_mb),
+            completed_pages=len(carousel.completed),
+        )

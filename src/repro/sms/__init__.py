@@ -1,0 +1,37 @@
+"""SMS uplink substrate.
+
+SONIC's uplink, "when available", is the SMS network (paper Section 1):
+a user texts a URL to a SONIC number; the server replies with an ACK and
+a delivery estimate.  This package implements the GSM 7-bit alphabet and
+septet packing, message segmentation, a store-and-forward gateway with
+latency/loss, and SONIC's request/response protocol.
+"""
+
+from repro.sms.gsm7 import gsm7_encode, gsm7_decode, is_gsm7_compatible
+from repro.sms.message import SmsMessage, segment_text, SEGMENT_LIMIT
+from repro.sms.gateway import SmsGateway, GatewayConfig
+from repro.sms.protocol import (
+    PageRequest,
+    RequestAck,
+    RequestError,
+    SearchRequest,
+    parse_uplink,
+    parse_downlink,
+)
+
+__all__ = [
+    "gsm7_encode",
+    "gsm7_decode",
+    "is_gsm7_compatible",
+    "SmsMessage",
+    "segment_text",
+    "SEGMENT_LIMIT",
+    "SmsGateway",
+    "GatewayConfig",
+    "PageRequest",
+    "RequestAck",
+    "RequestError",
+    "SearchRequest",
+    "parse_uplink",
+    "parse_downlink",
+]

@@ -1,0 +1,81 @@
+"""A store-and-forward SMS gateway with latency and loss.
+
+SMS delivery is seconds-slow and occasionally lossy; SONIC's workflow
+(request -> ACK with ETA -> broadcast) is designed around exactly that.
+The gateway is simulation-time driven: ``submit`` timestamps a message,
+``deliver_due`` hands over everything whose (randomised) delivery time
+has passed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sms.message import SmsMessage
+from repro.util.rng import derive_rng
+
+__all__ = ["GatewayConfig", "SmsGateway"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Delivery behaviour of the carrier network."""
+
+    median_latency_s: float = 4.0
+    latency_sigma: float = 0.6  # log-normal shape
+    loss_probability: float = 0.01
+    per_segment_penalty_s: float = 1.0  # concatenated SMS arrive later
+
+
+class SmsGateway:
+    """Routes messages between numbers with realistic delays."""
+
+    def __init__(self, config: GatewayConfig = GatewayConfig(), seed: int = 0) -> None:
+        self.config = config
+        self._rng = derive_rng(seed, "sms-gateway")
+        self._in_flight: list[tuple[float, SmsMessage]] = []
+        self._handlers: dict[str, Callable[[SmsMessage, float], None]] = {}
+        self.submitted_count = 0
+        self.delivered_count = 0
+        self.lost_count = 0
+
+    def register(self, number: str, handler: Callable[[SmsMessage, float], None]) -> None:
+        """Attach a delivery handler for messages addressed to ``number``."""
+        self._handlers[number] = handler
+
+    def submit(self, message: SmsMessage, now: float) -> bool:
+        """Hand a message to the network; returns False if dropped."""
+        self.submitted_count += 1
+        cfg = self.config
+        if self._rng.random() < cfg.loss_probability:
+            self.lost_count += 1
+            return False
+        latency = float(
+            self._rng.lognormal(
+                mean=math.log(cfg.median_latency_s), sigma=cfg.latency_sigma
+            )
+        )
+        latency += cfg.per_segment_penalty_s * (message.segment_count - 1)
+        self._in_flight.append((now + latency, message))
+        self._in_flight.sort(key=lambda pair: pair[0])
+        return True
+
+    def pending_count(self) -> int:
+        return len(self._in_flight)
+
+    def deliver_due(self, now: float) -> list[SmsMessage]:
+        """Deliver every message due by ``now``; returns what was delivered.
+
+        Messages to numbers with a registered handler are dispatched to
+        it; all delivered messages are also returned for inspection.
+        """
+        due = [m for t, m in self._in_flight if t <= now]
+        self._in_flight = [(t, m) for t, m in self._in_flight if t > now]
+        for message in due:
+            self.delivered_count += 1
+            handler = self._handlers.get(message.recipient)
+            if handler is not None:
+                handler(message, now)
+        return due

@@ -1,0 +1,110 @@
+"""GSM 03.38 7-bit default alphabet with septet packing.
+
+The reason SMS carries 160 characters in 140 bytes: characters map to
+7-bit septets, eight of which pack into seven octets.  SONIC requests
+must survive this encoding, so URLs are checked for alphabet
+compatibility before transmission.
+"""
+
+from __future__ import annotations
+
+__all__ = ["gsm7_encode", "gsm7_decode", "is_gsm7_compatible"]
+
+# GSM 03.38 basic character set, index = septet value.
+_BASIC = (
+    "@£$¥èéùìòÇ\nØø\rÅå"
+    "Δ_ΦΓΛΩΠΨΣΘΞ\x1bÆæßÉ"
+    " !\"#¤%&'()*+,-./"
+    "0123456789:;<=>?"
+    "¡ABCDEFGHIJKLMNO"
+    "PQRSTUVWXYZÄÖÑÜ§"
+    "¿abcdefghijklmno"
+    "pqrstuvwxyzäöñüà"
+)
+# Extension table (preceded by the 0x1B escape septet).
+_EXTENSION = {
+    "^": 0x14, "{": 0x28, "}": 0x29, "\\": 0x2F,
+    "[": 0x3C, "~": 0x3D, "]": 0x3E, "|": 0x40, "€": 0x65,
+}
+_CHAR_TO_SEPTET = {c: i for i, c in enumerate(_BASIC)}
+_SEPTET_TO_CHAR = dict(enumerate(_BASIC))
+_EXT_TO_CHAR = {v: k for k, v in _EXTENSION.items()}
+_ESCAPE = 0x1B
+
+
+def is_gsm7_compatible(text: str) -> bool:
+    """True when every character exists in the GSM 7-bit alphabet."""
+    return all(c in _CHAR_TO_SEPTET or c in _EXTENSION for c in text)
+
+
+def _septets(text: str) -> list[int]:
+    out: list[int] = []
+    for c in text:
+        if c in _CHAR_TO_SEPTET:
+            out.append(_CHAR_TO_SEPTET[c])
+        elif c in _EXTENSION:
+            out.extend((_ESCAPE, _EXTENSION[c]))
+        else:
+            raise ValueError(f"character {c!r} not in GSM 7-bit alphabet")
+    return out
+
+
+def septet_length(text: str) -> int:
+    """Septet count of a string (extension chars count twice)."""
+    return len(_septets(text))
+
+
+def gsm7_encode(text: str) -> bytes:
+    """Pack a string into GSM 7-bit octets (bit-accumulator packing).
+
+    >>> gsm7_encode("hello").hex()
+    'e8329bfd06'
+    """
+    septets = _septets(text)
+    out = bytearray()
+    acc = 0
+    acc_bits = 0
+    for septet in septets:
+        acc |= septet << acc_bits
+        acc_bits += 7
+        while acc_bits >= 8:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            acc_bits -= 8
+    if acc_bits:
+        out.append(acc & 0xFF)
+    return bytes(out)
+
+
+def gsm7_decode(data: bytes, n_septets: int | None = None) -> str:
+    """Unpack GSM 7-bit octets back to text.
+
+    ``n_septets`` disambiguates the final byte (7 trailing zero bits can
+    be either padding or an '@'); by default trailing zero septets in the
+    last partial byte are treated as padding.
+    """
+    septets: list[int] = []
+    acc = 0
+    acc_bits = 0
+    for byte in data:
+        acc |= byte << acc_bits
+        acc_bits += 8
+        while acc_bits >= 7:
+            septets.append(acc & 0x7F)
+            acc >>= 7
+            acc_bits -= 7
+    if n_septets is not None:
+        septets = septets[:n_septets]
+    elif septets and septets[-1] == 0 and (len(data) * 8) % 7 != 0:
+        septets.pop()
+    text = []
+    escape = False
+    for s in septets:
+        if escape:
+            text.append(_EXT_TO_CHAR.get(s, "?"))
+            escape = False
+        elif s == _ESCAPE:
+            escape = True
+        else:
+            text.append(_SEPTET_TO_CHAR[s])
+    return "".join(text)

@@ -1,0 +1,68 @@
+"""SMS messages and multi-part segmentation.
+
+A single SMS carries 160 GSM-7 characters; longer texts split into
+concatenated segments of 153 characters (the user-data header costs 7
+septets per segment).  SONIC keeps its protocol messages inside a single
+segment whenever possible — every extra segment costs the user money.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sms.gsm7 import is_gsm7_compatible, septet_length
+
+__all__ = ["SmsMessage", "segment_text", "SEGMENT_LIMIT", "MULTIPART_LIMIT"]
+
+SEGMENT_LIMIT = 160  # septets in a single SMS
+MULTIPART_LIMIT = 153  # septets per segment once a UDH is present
+
+
+def segment_text(text: str) -> list[str]:
+    """Split ``text`` into SMS segments by septet budget.
+
+    >>> segment_text("x" * 160)  # doctest: +ELLIPSIS
+    ['xxx...']
+    >>> len(segment_text("x" * 161))
+    2
+    """
+    if not is_gsm7_compatible(text):
+        raise ValueError("text contains characters outside the GSM 7-bit alphabet")
+    if septet_length(text) <= SEGMENT_LIMIT:
+        return [text]
+    segments: list[str] = []
+    current = ""
+    for char in text:
+        if septet_length(current + char) > MULTIPART_LIMIT:
+            segments.append(current)
+            current = char
+        else:
+            current += char
+    if current:
+        segments.append(current)
+    return segments
+
+
+@dataclass(frozen=True)
+class SmsMessage:
+    """One logical SMS (possibly multi-segment on the wire)."""
+
+    sender: str
+    recipient: str
+    text: str
+    submitted_at: float = 0.0  # simulation seconds
+
+    def __post_init__(self) -> None:
+        if not self.sender or not self.recipient:
+            raise ValueError("sender and recipient are required")
+        if not is_gsm7_compatible(self.text):
+            raise ValueError("SMS text must be GSM 7-bit compatible")
+
+    @property
+    def segments(self) -> list[str]:
+        return segment_text(self.text)
+
+    @property
+    def segment_count(self) -> int:
+        """Billing unit: how many segments this message costs."""
+        return len(self.segments)

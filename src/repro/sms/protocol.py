@@ -1,0 +1,107 @@
+"""SONIC's SMS request/response protocol.
+
+Uplink (client -> server), one segment each:
+
+* ``GET <url> LOC <lat>,<lon>`` — request a page.  The location lets the
+  server pick the FM transmitter that covers the user (Section 3.1).
+* ``FIND <query> LOC <lat>,<lon>`` — a search-engine query.
+
+Downlink (server -> client):
+
+* ``ACK <url> ETA <seconds>`` — request accepted, delivery estimate.
+* ``ERR <url> <reason>`` — request rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PageRequest",
+    "SearchRequest",
+    "RequestAck",
+    "RequestError",
+    "parse_uplink",
+    "parse_downlink",
+]
+
+
+@dataclass(frozen=True)
+class PageRequest:
+    """GET: fetch (or reuse from cache) and broadcast a page."""
+
+    url: str
+    lat: float
+    lon: float
+
+    def to_text(self) -> str:
+        return f"GET {self.url} LOC {self.lat:.4f},{self.lon:.4f}"
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """FIND: run a search query and broadcast the result page."""
+
+    query: str
+    lat: float
+    lon: float
+
+    def to_text(self) -> str:
+        return f"FIND {self.query} LOC {self.lat:.4f},{self.lon:.4f}"
+
+
+@dataclass(frozen=True)
+class RequestAck:
+    """ACK: the server's promise, with an airtime estimate."""
+
+    url: str
+    eta_seconds: float
+
+    def to_text(self) -> str:
+        return f"ACK {self.url} ETA {self.eta_seconds:.0f}"
+
+
+@dataclass(frozen=True)
+class RequestError:
+    """ERR: the server declined (unsupported page, no coverage, ...)."""
+
+    url: str
+    reason: str
+
+    def to_text(self) -> str:
+        return f"ERR {self.url} {self.reason}"
+
+
+def _parse_loc(parts: list[str]) -> tuple[float, float]:
+    if len(parts) != 2 or parts[0] != "LOC":
+        raise ValueError("missing LOC clause")
+    lat_s, _, lon_s = parts[1].partition(",")
+    return float(lat_s), float(lon_s)
+
+
+def parse_uplink(text: str) -> PageRequest | SearchRequest:
+    """Parse a client-originated message; raises ``ValueError`` if malformed."""
+    tokens = text.strip().split(" ")
+    if len(tokens) >= 4 and tokens[0] == "GET":
+        lat, lon = _parse_loc(tokens[-2:])
+        url = " ".join(tokens[1:-2])
+        if not url or " " in url:
+            raise ValueError(f"malformed URL in request: {text!r}")
+        return PageRequest(url, lat, lon)
+    if len(tokens) >= 4 and tokens[0] == "FIND":
+        lat, lon = _parse_loc(tokens[-2:])
+        query = " ".join(tokens[1:-2])
+        if not query:
+            raise ValueError("empty search query")
+        return SearchRequest(query, lat, lon)
+    raise ValueError(f"unrecognised uplink message: {text!r}")
+
+
+def parse_downlink(text: str) -> RequestAck | RequestError:
+    """Parse a server-originated message."""
+    tokens = text.strip().split(" ")
+    if len(tokens) == 4 and tokens[0] == "ACK" and tokens[2] == "ETA":
+        return RequestAck(tokens[1], float(tokens[3]))
+    if len(tokens) >= 3 and tokens[0] == "ERR":
+        return RequestError(tokens[1], " ".join(tokens[2:]))
+    raise ValueError(f"unrecognised downlink message: {text!r}")

@@ -1,0 +1,38 @@
+"""Transport layer: images <-> 100-byte broadcast frames.
+
+The paper describes two things at once (Section 3.3): airtime accounting
+is done on *WebP bytes* (Figures 4(b) and 4(c)), while loss visualisation
+maps lost frames to *pixel columns* (Figures 1 and 5: the image is split
+into 1-pixel-wide vertical partitions, and each partition into 100-byte
+frames).  These are not the same encoding, so this package implements
+both consistent transports:
+
+* :class:`ColumnTransport` — the paper's literal partitioning: 1-px
+  column segments, independently decodable per frame, so every lost
+  frame blanks a known pixel run that nearest-neighbour interpolation
+  can repair.  Used by the FIG1/FIG5 experiments.
+* :class:`BundleTransport` — chunks an opaque byte payload (the SWebp
+  file + click map) into sequence-numbered frames; a broadcast carousel
+  retransmits until every receiver fills its gaps.  Its frame counts are
+  what the FIG4B/FIG4C airtime math uses.
+"""
+
+from repro.transport.framing import Frame, FrameHeader, FRAME_SIZE, FrameType
+from repro.transport.partition import ColumnTransport
+from repro.transport.bundle import BundleTransport, PageBundle
+from repro.transport.assemble import ColumnAssembler, ReceivedImage
+from repro.transport.carousel import BroadcastCarousel, CarouselItem
+
+__all__ = [
+    "Frame",
+    "FrameHeader",
+    "FRAME_SIZE",
+    "FrameType",
+    "ColumnTransport",
+    "BundleTransport",
+    "PageBundle",
+    "ColumnAssembler",
+    "ReceivedImage",
+    "BroadcastCarousel",
+    "CarouselItem",
+]

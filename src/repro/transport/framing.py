@@ -1,0 +1,87 @@
+"""Fixed 100-byte frame format.
+
+Every SONIC transmission unit is exactly 100 bytes (paper Section 3.3),
+self-describing enough that a receiver can reassemble an image from any
+subset: page id, sequence number, total count, and — for column frames —
+the pixel region the payload covers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+__all__ = ["FRAME_SIZE", "FrameType", "FrameHeader", "Frame"]
+
+FRAME_SIZE = 100
+_HEADER_FMT = ">BHIIHHH"  # type, page_id, seq, total, col, row0, n_pixels
+HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+PAYLOAD_SIZE = FRAME_SIZE - HEADER_SIZE
+
+
+class FrameType(IntEnum):
+    """What a frame's payload contains."""
+
+    COLUMN_PIXELS = 1  # RLE pixel run for a 1-px column segment
+    BUNDLE_BYTES = 2  # chunk of an opaque byte bundle
+    METADATA = 3  # page metadata (dimensions, URL, expiry)
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Frame addressing and pixel-region information."""
+
+    frame_type: FrameType
+    page_id: int
+    seq: int
+    total: int
+    col: int = 0  # column index (COLUMN_PIXELS only)
+    row0: int = 0  # first row covered (COLUMN_PIXELS only)
+    n_pixels: int = 0  # rows covered (COLUMN_PIXELS only)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.page_id < 1 << 16:
+            raise ValueError("page_id must fit in 16 bits")
+        if not 0 <= self.seq < self.total <= 1 << 32 - 1:
+            raise ValueError(f"bad seq/total: {self.seq}/{self.total}")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One 100-byte transmission unit."""
+
+    header: FrameHeader
+    payload: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialise to exactly FRAME_SIZE bytes (payload zero-padded)."""
+        if len(self.payload) > PAYLOAD_SIZE:
+            raise ValueError(
+                f"payload of {len(self.payload)} exceeds {PAYLOAD_SIZE} bytes"
+            )
+        h = self.header
+        head = struct.pack(
+            _HEADER_FMT,
+            int(h.frame_type),
+            h.page_id,
+            h.seq,
+            h.total,
+            h.col,
+            h.row0,
+            h.n_pixels,
+        )
+        return head + self.payload + bytes(PAYLOAD_SIZE - len(self.payload))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Frame":
+        """Parse a FRAME_SIZE byte buffer back into a frame."""
+        if len(data) != FRAME_SIZE:
+            raise ValueError(f"expected {FRAME_SIZE} bytes, got {len(data)}")
+        ftype, page_id, seq, total, col, row0, n_pixels = struct.unpack_from(
+            _HEADER_FMT, data
+        )
+        header = FrameHeader(
+            FrameType(ftype), page_id, seq, total, col, row0, n_pixels
+        )
+        return cls(header, data[HEADER_SIZE:])

@@ -1,0 +1,142 @@
+"""Catalog announcements: the broadcast programme guide.
+
+A downlink-only SONIC user can browse only what has already arrived —
+but to "show a catalog of available webpages" (Section 3.1) before
+everything lands, the transmitter periodically broadcasts a lightweight
+announcement of what is queued: URL, page id, content version, size, and
+the transmitter's ETA.  Clients ingest these METADATA frames to show an
+"upcoming" view and to decide whether an SMS request is worth its cost.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.transport.framing import (
+    Frame,
+    FrameHeader,
+    FrameType,
+    PAYLOAD_SIZE,
+)
+
+__all__ = ["CatalogEntryInfo", "CatalogAnnouncement"]
+
+_MAGIC = b"SNCT"
+#: page id reserved for catalog traffic.
+CATALOG_PAGE_ID = 0xFFFF
+
+
+@dataclass(frozen=True)
+class CatalogEntryInfo:
+    """One queued page, as announced over the air."""
+
+    url: str
+    page_id: int
+    version: int
+    size_bytes: int
+    eta_seconds: float
+
+    def __post_init__(self) -> None:
+        if len(self.url.encode("utf-8")) > 255:
+            raise ValueError("URL too long for a catalog entry")
+
+
+@dataclass
+class CatalogAnnouncement:
+    """The transmitter's current queue, broadcast as METADATA frames."""
+
+    station_id: str
+    entries: list[CatalogEntryInfo]
+
+    def to_bytes(self) -> bytes:
+        station = self.station_id.encode("utf-8")
+        if len(station) > 255:
+            raise ValueError("station id too long")
+        out = bytearray(_MAGIC)
+        out.append(len(station))
+        out += station
+        out += struct.pack(">H", len(self.entries))
+        for entry in self.entries:
+            url = entry.url.encode("utf-8")
+            out += struct.pack(
+                ">BHHIf",
+                len(url),
+                entry.page_id,
+                entry.version,
+                entry.size_bytes,
+                entry.eta_seconds,
+            )
+            out += url
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CatalogAnnouncement":
+        if data[:4] != _MAGIC:
+            raise ValueError("bad catalog magic")
+        try:
+            pos = 4
+            station_len = data[pos]
+            pos += 1
+            station = data[pos : pos + station_len].decode("utf-8")
+            pos += station_len
+            (count,) = struct.unpack_from(">H", data, pos)
+            pos += 2
+            entries = []
+            for _ in range(count):
+                url_len, page_id, version, size, eta = struct.unpack_from(
+                    ">BHHIf", data, pos
+                )
+                pos += struct.calcsize(">BHHIf")
+                if pos + url_len > len(data):
+                    raise ValueError("truncated catalog entry")
+                url = data[pos : pos + url_len].decode("utf-8")
+                pos += url_len
+                entries.append(
+                    CatalogEntryInfo(url, page_id, version, size, eta)
+                )
+        except (IndexError, struct.error, UnicodeDecodeError) as exc:
+            raise ValueError(f"malformed catalog announcement: {exc}") from exc
+        return cls(station, entries)
+
+    # -- framing ------------------------------------------------------------
+
+    def to_frames(self) -> list[Frame]:
+        """Chunk the announcement into METADATA frames."""
+        data = self.to_bytes()
+        total = max(1, -(-len(data) // PAYLOAD_SIZE))
+        frames = []
+        for seq in range(total):
+            chunk = data[seq * PAYLOAD_SIZE : (seq + 1) * PAYLOAD_SIZE]
+            frames.append(
+                Frame(
+                    FrameHeader(
+                        FrameType.METADATA,
+                        CATALOG_PAGE_ID,
+                        seq,
+                        total,
+                        n_pixels=len(chunk),
+                    ),
+                    chunk,
+                )
+            )
+        return frames
+
+    @classmethod
+    def from_frames(cls, frames: list[Frame]) -> "CatalogAnnouncement | None":
+        """Reassemble from METADATA frames; None while incomplete."""
+        by_seq = {
+            f.header.seq: f
+            for f in frames
+            if f.header.frame_type == FrameType.METADATA
+        }
+        if not by_seq:
+            return None
+        total = next(iter(by_seq.values())).header.total
+        if len(by_seq) < total:
+            return None
+        data = b"".join(
+            by_seq[seq].payload[: by_seq[seq].header.n_pixels]
+            for seq in range(total)
+        )
+        return cls.from_bytes(data)

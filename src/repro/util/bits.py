@@ -1,0 +1,67 @@
+"""Bit/byte conversion helpers.
+
+All bit vectors in this codebase are 1-D ``numpy.uint8`` arrays holding the
+values 0 and 1, MSB-first within each byte.  Centralising the conversions
+here keeps the modem, FEC, and framing layers agreed on bit order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bytes_to_bits", "bits_to_bytes", "int_to_bits", "bits_to_int", "pad_bits"]
+
+
+def bytes_to_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+    """Expand bytes into an MSB-first bit vector.
+
+    >>> bytes_to_bits(b"\\x80").tolist()
+    [1, 0, 0, 0, 0, 0, 0, 0]
+    """
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack an MSB-first bit vector back into bytes.
+
+    The bit count must be a multiple of 8; use :func:`pad_bits` first when
+    dealing with ragged payloads.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ValueError(f"expected 1-D bit vector, got shape {bits.shape}")
+    if bits.size % 8 != 0:
+        raise ValueError(f"bit count {bits.size} is not a multiple of 8")
+    return np.packbits(bits).tobytes()
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Encode ``value`` as a fixed-width MSB-first bit vector.
+
+    >>> int_to_bits(5, 4).tolist()
+    [0, 1, 0, 1]
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Decode an MSB-first bit vector into a non-negative integer."""
+    value = 0
+    for b in np.asarray(bits, dtype=np.uint8):
+        value = (value << 1) | int(b)
+    return value
+
+
+def pad_bits(bits: np.ndarray, multiple: int, value: int = 0) -> np.ndarray:
+    """Right-pad a bit vector with ``value`` up to a multiple of ``multiple``."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    remainder = bits.size % multiple
+    if remainder == 0:
+        return bits
+    pad = np.full(multiple - remainder, value, dtype=np.uint8)
+    return np.concatenate([bits, pad])

@@ -1,0 +1,49 @@
+"""Webpage substrate: synthetic sites, rendering, and click maps.
+
+The paper renders the 100 most popular Pakistani webpages in Chrome
+hourly for three days.  Offline, this package provides the equivalent:
+a deterministic generator of ranked .pk websites with realistic layout
+archetypes and hourly content churn, a from-scratch renderer producing
+1080-pixel-wide RGB screenshots, and the DRIVESHAFT-style click maps
+(Section 3.2) that make those screenshots interactive.
+"""
+
+from repro.web.dom import (
+    AdBanner,
+    Divider,
+    Footer,
+    Header,
+    Heading,
+    ImageBlock,
+    LinkList,
+    Page,
+    Paragraph,
+    SearchBox,
+    Thumbnail,
+)
+from repro.web.clickmap import ClickMap, ClickRegion
+from repro.web.render import PageRenderer, RenderResult
+from repro.web.sites import SiteGenerator, Website
+from repro.web.tranco import TrancoList, TrancoEntry
+
+__all__ = [
+    "Page",
+    "Header",
+    "Heading",
+    "Paragraph",
+    "ImageBlock",
+    "LinkList",
+    "Thumbnail",
+    "SearchBox",
+    "AdBanner",
+    "Divider",
+    "Footer",
+    "ClickMap",
+    "ClickRegion",
+    "PageRenderer",
+    "RenderResult",
+    "SiteGenerator",
+    "Website",
+    "TrancoList",
+    "TrancoEntry",
+]

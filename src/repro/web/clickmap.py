@@ -1,0 +1,103 @@
+"""Click maps: interactivity for static screenshots.
+
+Adopted from DRIVESHAFT (paper Section 3.2): a list of <x, y> rectangles
+mapping screenshot regions to hyperlink targets.  When a SONIC user taps
+inside a region, the client either loads the target from its cache or
+requests it over SMS.  Click maps are scaled together with the image by
+the device scaling factor, and serialise compactly for broadcast
+alongside the page.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["ClickRegion", "ClickMap"]
+
+
+@dataclass(frozen=True)
+class ClickRegion:
+    """One interactive rectangle (pixel coordinates, top-left origin)."""
+
+    x: int
+    y: int
+    width: int
+    height: int
+    href: str
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.x <= x < self.x + self.width and self.y <= y < self.y + self.height
+
+    def scaled(self, factor: float) -> "ClickRegion":
+        return ClickRegion(
+            int(round(self.x * factor)),
+            int(round(self.y * factor)),
+            max(1, int(round(self.width * factor))),
+            max(1, int(round(self.height * factor))),
+            self.href,
+        )
+
+
+class ClickMap:
+    """An ordered collection of clickable regions for one screenshot."""
+
+    def __init__(self, regions: list[ClickRegion] | None = None) -> None:
+        self.regions: list[ClickRegion] = list(regions or [])
+
+    def add(self, region: ClickRegion) -> None:
+        self.regions.append(region)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self):
+        return iter(self.regions)
+
+    def hit_test(self, x: int, y: int) -> str | None:
+        """The href under (x, y), topmost (last-added) region first."""
+        for region in reversed(self.regions):
+            if region.contains(x, y):
+                return region.href
+        return None
+
+    def scaled(self, factor: float) -> "ClickMap":
+        """Scale every region by the device scaling factor (Section 3.2)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return ClickMap([r.scaled(factor) for r in self.regions])
+
+    def hrefs(self) -> list[str]:
+        return [r.href for r in self.regions]
+
+    # -- wire format ----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise: count + per-region packed rect + length-prefixed href."""
+        out = bytearray(struct.pack(">H", len(self.regions)))
+        for r in self.regions:
+            href = r.href.encode("utf-8")
+            if len(href) > 255:
+                raise ValueError(f"href too long to serialise: {r.href!r}")
+            out += struct.pack(">HHHHB", r.x, r.y, r.width, r.height, len(href))
+            out += href
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ClickMap":
+        """Inverse of :meth:`to_bytes`; raises ``ValueError`` on damage."""
+        try:
+            (count,) = struct.unpack_from(">H", data, 0)
+            offset = 2
+            regions = []
+            for _ in range(count):
+                x, y, w, h, hlen = struct.unpack_from(">HHHHB", data, offset)
+                offset += 9
+                if offset + hlen > len(data):
+                    raise ValueError("truncated click map")
+                href = data[offset : offset + hlen].decode("utf-8")
+                offset += hlen
+                regions.append(ClickRegion(x, y, w, h, href))
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise ValueError(f"malformed click map: {exc}") from exc
+        return cls(regions)

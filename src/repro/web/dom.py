@@ -1,0 +1,164 @@
+"""A simplified page model ("DOM") for the renderer.
+
+SONIC transmits page *appearance*, so this model only carries what shows
+on screen: block-level elements stacked vertically, plus the hyperlink
+targets needed to build click maps.  It deliberately has no scripting,
+styling cascade, or video (the paper's Content Limitations section:
+videos appear as non-clickable thumbnails).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Page",
+    "Header",
+    "Heading",
+    "Paragraph",
+    "ImageBlock",
+    "LinkList",
+    "Thumbnail",
+    "SearchBox",
+    "AdBanner",
+    "Divider",
+    "Footer",
+]
+
+
+@dataclass(frozen=True)
+class Header:
+    """Top banner: site title plus a navigation bar of links."""
+
+    title: str
+    nav_items: tuple[tuple[str, str], ...] = ()  # (label, href)
+    color: tuple[int, int, int] = (28, 60, 120)
+
+
+@dataclass(frozen=True)
+class Heading:
+    """Section heading; optionally a hyperlink (e.g. article titles)."""
+
+    text: str
+    level: int = 1  # 1 (largest) .. 3
+    href: str | None = None
+
+
+@dataclass(frozen=True)
+class Paragraph:
+    """Body text, wrapped by the renderer."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class ImageBlock:
+    """An inline photo/figure, drawn as a procedural texture."""
+
+    width: int
+    height: int
+    seed: int
+    caption: str = ""
+
+
+@dataclass(frozen=True)
+class LinkList:
+    """A bulleted list of hyperlinks (e.g. 'more stories')."""
+
+    items: tuple[tuple[str, str], ...]  # (label, href)
+
+
+@dataclass(frozen=True)
+class LinkGrid:
+    """A dense multi-column directory of links (urdupoint-style walls).
+
+    These pages are the heavy tail of the size CDF: small type, tight
+    leading, ink across the full width.
+    """
+
+    items: tuple[tuple[str, str], ...]  # (label, href)
+    columns: int = 3
+
+
+@dataclass(frozen=True)
+class Thumbnail:
+    """A video placeholder: image + play glyph, *not* clickable."""
+
+    width: int
+    height: int
+    seed: int
+    label: str = "video unavailable over SONIC"
+
+
+@dataclass(frozen=True)
+class SearchBox:
+    """A search field; clicking it requires an uplink."""
+
+    placeholder: str = "Search"
+    href: str = "action:search"
+
+
+@dataclass(frozen=True)
+class AdBanner:
+    """A display ad slot (the radio-station monetisation surface)."""
+
+    text: str
+    href: str | None = None
+    color: tuple[int, int, int] = (200, 120, 20)
+
+
+@dataclass(frozen=True)
+class Divider:
+    """A horizontal rule with vertical padding."""
+
+    padding: int = 26
+
+
+@dataclass(frozen=True)
+class Footer:
+    """Bottom matter: contact/about links."""
+
+    items: tuple[tuple[str, str], ...] = ()
+    color: tuple[int, int, int] = (40, 40, 40)
+
+
+Element = (
+    Header
+    | Heading
+    | Paragraph
+    | ImageBlock
+    | LinkList
+    | LinkGrid
+    | Thumbnail
+    | SearchBox
+    | AdBanner
+    | Divider
+    | Footer
+)
+
+
+@dataclass
+class Page:
+    """A renderable page: URL, title, and a vertical stack of elements."""
+
+    url: str
+    title: str
+    elements: list[Element] = field(default_factory=list)
+
+    def internal_links(self) -> list[str]:
+        """Every hyperlink target reachable from this page."""
+        links: list[str] = []
+        for el in self.elements:
+            if isinstance(el, Header):
+                links.extend(href for _, href in el.nav_items)
+            elif isinstance(el, Heading) and el.href:
+                links.append(el.href)
+            elif isinstance(el, (LinkList, LinkGrid)):
+                links.extend(href for _, href in el.items)
+            elif isinstance(el, (SearchBox,)):
+                links.append(el.href)
+            elif isinstance(el, AdBanner) and el.href:
+                links.append(el.href)
+            elif isinstance(el, Footer):
+                links.extend(href for _, href in el.items)
+        return links

@@ -1,0 +1,359 @@
+"""Render a :class:`repro.web.dom.Page` to an RGB screenshot + click map.
+
+Mirrors the paper's rendering parameters: images are 1,080 pixels wide
+and optionally cropped at a maximum pixel height (PH, 10k in the paper)
+"to allow a user to scroll down ... while avoiding to waste broadcasted
+data" (Section 3.2).  The renderer also emits the click map used for
+interactivity, and both scale together by the device scaling factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+from repro.web import font
+from repro.web.clickmap import ClickMap, ClickRegion
+from repro.web.dom import (
+    AdBanner,
+    Divider,
+    Footer,
+    Header,
+    Heading,
+    ImageBlock,
+    LinkGrid,
+    LinkList,
+    Page,
+    Paragraph,
+    SearchBox,
+    Thumbnail,
+)
+
+__all__ = ["PageRenderer", "RenderResult"]
+
+_WHITE = (255, 255, 255)
+_TEXT = (75, 75, 75)
+_LINK = (18, 60, 160)
+_RULE = (210, 210, 210)
+
+_HEADING_SCALE = {1: 4, 2: 3, 3: 2}
+_BODY_SCALE = 2
+_MARGIN = 36
+_LINE_GAP = 16
+
+
+@dataclass
+class RenderResult:
+    """A rendered screenshot and its interactivity map."""
+
+    image: np.ndarray  # (H, W, 3) uint8
+    clickmap: ClickMap
+    full_height: int  # layout height before any PH crop
+
+    @property
+    def cropped(self) -> bool:
+        return self.image.shape[0] < self.full_height
+
+    def scaled(self, factor: float) -> "RenderResult":
+        """Resize image and click map by the device scaling factor.
+
+        Nearest-neighbour resampling — the cheap operation a low-end
+        phone can afford (paper Section 3.2).
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        h, w = self.image.shape[:2]
+        new_h, new_w = max(1, int(h * factor)), max(1, int(w * factor))
+        rows = np.minimum((np.arange(new_h) / factor).astype(np.int64), h - 1)
+        cols = np.minimum((np.arange(new_w) / factor).astype(np.int64), w - 1)
+        image = self.image[rows][:, cols]
+        return RenderResult(image, self.clickmap.scaled(factor), int(self.full_height * factor))
+
+
+class _Canvas:
+    """Grow-down drawing surface with rectangle/text primitives."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._chunks: list[np.ndarray] = []
+        self.y = 0
+
+    def extend(self, height: int, color=_WHITE) -> int:
+        """Append ``height`` rows of ``color``; returns their start y."""
+        block = np.empty((height, self.width, 3), dtype=np.uint8)
+        block[:] = color
+        self._chunks.append(block)
+        start = self.y
+        self.y += height
+        return start
+
+    def _locate(self, y: int) -> tuple[np.ndarray, int]:
+        offset = 0
+        for chunk in self._chunks:
+            if y < offset + chunk.shape[0]:
+                return chunk, y - offset
+            offset += chunk.shape[0]
+        raise IndexError(f"row {y} beyond canvas height {self.y}")
+
+    def fill_rect(self, x: int, y: int, w: int, h: int, color) -> None:
+        remaining = h
+        row = y
+        while remaining > 0:
+            chunk, local = self._locate(row)
+            span = min(remaining, chunk.shape[0] - local)
+            chunk[local : local + span, x : x + w] = color
+            row += span
+            remaining -= span
+
+    def blit_mask(self, x: int, y: int, mask: np.ndarray, color) -> None:
+        remaining = mask.shape[0]
+        src = 0
+        row = y
+        while remaining > 0:
+            chunk, local = self._locate(row)
+            span = min(remaining, chunk.shape[0] - local)
+            w = min(mask.shape[1], self.width - x)
+            region = chunk[local : local + span, x : x + w]
+            region[mask[src : src + span, :w]] = color
+            row += span
+            src += span
+            remaining -= span
+
+    def paste(self, x: int, y: int, tile: np.ndarray) -> None:
+        remaining = tile.shape[0]
+        src = 0
+        row = y
+        while remaining > 0:
+            chunk, local = self._locate(row)
+            span = min(remaining, chunk.shape[0] - local)
+            w = min(tile.shape[1], self.width - x)
+            chunk[local : local + span, x : x + w] = tile[src : src + span, :w]
+            row += span
+            src += span
+            remaining -= span
+
+    def image(self) -> np.ndarray:
+        if not self._chunks:
+            return np.full((1, self.width, 3), 255, dtype=np.uint8)
+        return np.concatenate(self._chunks, axis=0)
+
+
+def _procedural_photo(width: int, height: int, seed: int) -> np.ndarray:
+    """A deterministic photo-like texture: gradient + soft blobs."""
+    rng = derive_rng(seed, "photo")
+    yy, xx = np.mgrid[0:height, 0:width]
+    base = np.zeros((height, width, 3), dtype=np.float64)
+    c0 = rng.uniform(40, 215, 3)
+    c1 = rng.uniform(40, 215, 3)
+    t = (xx + yy) / max(width + height - 2, 1)
+    for ch in range(3):
+        base[..., ch] = c0[ch] + (c1[ch] - c0[ch]) * t
+    for _ in range(6):
+        cx, cy = rng.uniform(0, width), rng.uniform(0, height)
+        radius = rng.uniform(0.1, 0.35) * min(width, height)
+        color = rng.uniform(0, 255, 3)
+        blob = np.exp(-(((xx - cx) ** 2 + (yy - cy) ** 2) / (2 * radius**2)))
+        for ch in range(3):
+            base[..., ch] += (color[ch] - base[..., ch]) * blob * 0.7
+    return np.clip(base, 0, 255).astype(np.uint8)
+
+
+class PageRenderer:
+    """Layout engine: stacks page elements into a screenshot."""
+
+    def __init__(self, width: int = 1080, max_height: int | None = 10_000) -> None:
+        if width < 200:
+            raise ValueError("width must be at least 200 px")
+        self.width = width
+        self.max_height = max_height
+
+    # -- text helpers ----------------------------------------------------------
+
+    #: Body text occupies a reading column, not the full viewport —
+    #: mobile pages keep measure around 60 characters.
+    TEXT_COLUMN_FRACTION = 0.72
+
+    def _wrap(self, text: str, scale: int) -> list[str]:
+        usable = int((self.width - 2 * _MARGIN) * self.TEXT_COLUMN_FRACTION)
+        per_char = (font.GLYPH_WIDTH + 1) * scale
+        max_chars = max(8, usable // per_char)
+        words = text.split()
+        lines: list[str] = []
+        current = ""
+        for word in words:
+            candidate = f"{current} {word}".strip()
+            if len(candidate) <= max_chars:
+                current = candidate
+            else:
+                if current:
+                    lines.append(current)
+                current = word[:max_chars]
+        if current:
+            lines.append(current)
+        return lines or [""]
+
+    def _draw_text_block(
+        self, canvas: _Canvas, text: str, scale: int, color, x: int | None = None
+    ) -> tuple[int, int, int]:
+        """Draw wrapped text; returns (y, height, max_line_width)."""
+        lines = self._wrap(text, scale)
+        line_h = font.GLYPH_HEIGHT * scale + _LINE_GAP
+        y0 = canvas.extend(line_h * len(lines) + _LINE_GAP)
+        max_w = 0
+        for i, line in enumerate(lines):
+            mask = font.render_text(line, scale=scale)
+            canvas.blit_mask(x if x is not None else _MARGIN, y0 + i * line_h, mask, color)
+            max_w = max(max_w, mask.shape[1])
+        return y0, line_h * len(lines) + _LINE_GAP, max_w
+
+    # -- element renderers ----------------------------------------------------------
+
+    def _render_header(self, canvas: _Canvas, el: Header, clickmap: ClickMap) -> None:
+        bar_h = 96
+        y0 = canvas.extend(bar_h, el.color)
+        title_mask = font.render_text(el.title, scale=4)
+        canvas.blit_mask(_MARGIN, y0 + 16, title_mask, _WHITE)
+        x = _MARGIN
+        nav_y = y0 + 64
+        for label, href in el.nav_items:
+            mask = font.render_text(label, scale=2)
+            w = mask.shape[1]
+            if x + w > self.width - _MARGIN:
+                break
+            canvas.blit_mask(x, nav_y, mask, (220, 230, 255))
+            clickmap.add(ClickRegion(x, nav_y, w, mask.shape[0], href))
+            x += w + 28
+
+    def _render_heading(self, canvas: _Canvas, el: Heading, clickmap: ClickMap) -> None:
+        scale = _HEADING_SCALE.get(el.level, 2)
+        color = _LINK if el.href else _TEXT
+        y0, h, w = self._draw_text_block(canvas, el.text, scale, color)
+        if el.href:
+            clickmap.add(ClickRegion(_MARGIN, y0, w, h - _LINE_GAP, el.href))
+
+    def _render_paragraph(self, canvas: _Canvas, el: Paragraph) -> None:
+        self._draw_text_block(canvas, el.text, _BODY_SCALE, _TEXT)
+        canvas.extend(30)
+
+    def _render_image(self, canvas: _Canvas, el: ImageBlock) -> None:
+        w = min(el.width, self.width - 2 * _MARGIN)
+        y0 = canvas.extend(el.height + 12)
+        canvas.paste(_MARGIN, y0, _procedural_photo(w, el.height, el.seed))
+        if el.caption:
+            self._draw_text_block(canvas, el.caption, 1, (90, 90, 90))
+
+    def _render_thumbnail(self, canvas: _Canvas, el: Thumbnail) -> None:
+        w = min(el.width, self.width - 2 * _MARGIN)
+        y0 = canvas.extend(el.height + 8)
+        canvas.paste(_MARGIN, y0, _procedural_photo(w, el.height, el.seed))
+        # Play-button glyph: centred grey box with a triangle.
+        size = min(60, el.height - 8)
+        bx = _MARGIN + w // 2 - size // 2
+        by = y0 + el.height // 2 - size // 2
+        canvas.fill_rect(bx, by, size, size, (60, 60, 60))
+        tri = np.zeros((size, size), dtype=bool)
+        for row in range(size):
+            extent = size // 2 - abs(row - size // 2)
+            tri[row, size // 3 : size // 3 + max(0, extent)] = True
+        canvas.blit_mask(bx, by, tri, _WHITE)
+        self._draw_text_block(canvas, el.label, 1, (120, 120, 120))
+
+    def _render_linklist(self, canvas: _Canvas, el: LinkList, clickmap: ClickMap) -> None:
+        for label, href in el.items:
+            y0, h, w = self._draw_text_block(canvas, "- " + label, _BODY_SCALE, _LINK)
+            clickmap.add(ClickRegion(_MARGIN, y0, w, h - _LINE_GAP, href))
+        canvas.extend(8)
+
+    def _render_linkgrid(self, canvas: _Canvas, el: LinkGrid, clickmap: ClickMap) -> None:
+        # Dense directory wall: small type, tight leading, full width.
+        col_w = (self.width - 2 * _MARGIN) // el.columns
+        row_h = font.GLYPH_HEIGHT * 2 + 4
+        n_rows = -(-len(el.items) // el.columns)
+        y0 = canvas.extend(n_rows * row_h + 8)
+        per_char = (font.GLYPH_WIDTH + 1) * 2
+        max_chars = max(4, (col_w - 8) // per_char)
+        for i, (label, href) in enumerate(el.items):
+            row, col = divmod(i, el.columns)
+            x = _MARGIN + col * col_w
+            y = y0 + row * row_h
+            mask = font.render_text(label[:max_chars], scale=2)
+            canvas.blit_mask(x, y, mask, _LINK)
+            clickmap.add(ClickRegion(x, y, mask.shape[1], mask.shape[0], href))
+
+    def _render_searchbox(self, canvas: _Canvas, el: SearchBox, clickmap: ClickMap) -> None:
+        box_h = 44
+        y0 = canvas.extend(box_h + 12)
+        w = self.width - 2 * _MARGIN
+        canvas.fill_rect(_MARGIN, y0, w, box_h, (240, 240, 240))
+        canvas.fill_rect(_MARGIN, y0, w, 2, _RULE)
+        canvas.fill_rect(_MARGIN, y0 + box_h - 2, w, 2, _RULE)
+        mask = font.render_text(el.placeholder, scale=2)
+        canvas.blit_mask(_MARGIN + 12, y0 + 12, mask, (130, 130, 130))
+        clickmap.add(ClickRegion(_MARGIN, y0, w, box_h, el.href))
+
+    def _render_ad(self, canvas: _Canvas, el: AdBanner, clickmap: ClickMap) -> None:
+        banner_h = 90
+        y0 = canvas.extend(banner_h + 10)
+        w = self.width - 2 * _MARGIN
+        canvas.fill_rect(_MARGIN, y0, w, banner_h, el.color)
+        mask = font.render_text(el.text, scale=3)
+        canvas.blit_mask(_MARGIN + 20, y0 + 30, mask, _WHITE)
+        if el.href:
+            clickmap.add(ClickRegion(_MARGIN, y0, w, banner_h, el.href))
+
+    def _render_footer(self, canvas: _Canvas, el: Footer, clickmap: ClickMap) -> None:
+        foot_h = 80
+        y0 = canvas.extend(foot_h, el.color)
+        x = _MARGIN
+        for label, href in el.items:
+            mask = font.render_text(label, scale=1)
+            w = mask.shape[1]
+            if x + w > self.width - _MARGIN:
+                break
+            canvas.blit_mask(x, y0 + 34, mask, (200, 200, 200))
+            clickmap.add(ClickRegion(x, y0 + 34, w, mask.shape[0], href))
+            x += w + 24
+
+    # -- entry point ----------------------------------------------------------
+
+    def render(self, page: Page) -> RenderResult:
+        """Lay out and rasterise ``page``; crop at ``max_height`` if set."""
+        canvas = _Canvas(self.width)
+        clickmap = ClickMap()
+        for el in page.elements:
+            if isinstance(el, Header):
+                self._render_header(canvas, el, clickmap)
+            elif isinstance(el, Heading):
+                self._render_heading(canvas, el, clickmap)
+            elif isinstance(el, Paragraph):
+                self._render_paragraph(canvas, el)
+            elif isinstance(el, ImageBlock):
+                self._render_image(canvas, el)
+            elif isinstance(el, Thumbnail):
+                self._render_thumbnail(canvas, el)
+            elif isinstance(el, LinkList):
+                self._render_linklist(canvas, el, clickmap)
+            elif isinstance(el, LinkGrid):
+                self._render_linkgrid(canvas, el, clickmap)
+            elif isinstance(el, SearchBox):
+                self._render_searchbox(canvas, el, clickmap)
+            elif isinstance(el, AdBanner):
+                self._render_ad(canvas, el, clickmap)
+            elif isinstance(el, Divider):
+                y0 = canvas.extend(el.padding * 2 + 2)
+                canvas.fill_rect(_MARGIN, y0 + el.padding, self.width - 2 * _MARGIN, 2, _RULE)
+            elif isinstance(el, Footer):
+                self._render_footer(canvas, el, clickmap)
+            else:
+                raise TypeError(f"unknown element type {type(el).__name__}")
+
+        image = canvas.image()
+        full_height = image.shape[0]
+        if self.max_height is not None and full_height > self.max_height:
+            image = image[: self.max_height]
+            clickmap = ClickMap(
+                [r for r in clickmap if r.y + r.height <= self.max_height]
+            )
+        return RenderResult(image, clickmap, full_height)

@@ -1,0 +1,94 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.dsp.wav import read_wav, write_wav
+from repro.imaging.pnm import read_pnm, write_ppm
+
+
+class TestWav:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        samples = rng.uniform(-0.8, 0.8, 4_800)
+        path = tmp_path / "x.wav"
+        write_wav(path, samples, 48_000)
+        restored, rate = read_wav(path)
+        assert rate == 48_000
+        assert np.max(np.abs(restored - samples)) < 1e-3
+
+    def test_clipping_normalised(self, tmp_path):
+        path = tmp_path / "loud.wav"
+        write_wav(path, np.array([0.0, 2.0, -2.0]), 8_000)
+        restored, _ = read_wav(path)
+        assert np.max(np.abs(restored)) <= 1.0
+
+    def test_mono_required(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_wav(tmp_path / "x.wav", np.zeros((10, 2)))
+
+
+class TestCli:
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "sonic-ofdm" in out
+        assert "audible-7k" in out
+
+    def test_corpus(self, capsys):
+        assert main(["corpus", "--sites", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "16 pages" in out
+
+    def test_render_and_codec_pipeline(self, tmp_path, capsys):
+        from repro.web.sites import SiteGenerator
+
+        url = SiteGenerator(seed=42).all_urls()[0]
+        page_ppm = tmp_path / "page.ppm"
+        clicks = tmp_path / "page.clicks"
+        assert main([
+            "render", url, "--width", "480", "--max-height", "600",
+            "--out", str(page_ppm), "--clickmap", str(clicks),
+        ]) == 0
+        assert page_ppm.exists()
+        assert clicks.read_text().strip()
+
+        swebp = tmp_path / "page.swebp"
+        out_ppm = tmp_path / "decoded.ppm"
+        assert main(["encode", str(page_ppm), str(swebp), "--quality", "30"]) == 0
+        assert main(["decode", str(swebp), str(out_ppm)]) == 0
+        original = read_pnm(page_ppm)
+        decoded = read_pnm(out_ppm)
+        assert decoded.shape == original.shape
+
+    def test_render_unknown_url(self, tmp_path, capsys):
+        assert main(["render", "nonsense.example/", "--out", str(tmp_path / "x.ppm")]) == 1
+
+    def test_modem_tx_rx(self, tmp_path, capsys):
+        payload = tmp_path / "payload.bin"
+        payload.write_bytes(b"connect the unconnected" * 8)
+        wav = tmp_path / "tx.wav"
+        out = tmp_path / "rx.bin"
+        assert main(["modem-tx", str(payload), str(wav)]) == 0
+        assert main(["modem-rx", str(wav), "--output", str(out)]) == 0
+        assert out.read_bytes().startswith(payload.read_bytes())
+
+    def test_modem_tx_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        assert main(["modem-tx", str(empty), str(tmp_path / "x.wav")]) == 1
+
+    def test_decode_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.swebp"
+        bad.write_bytes(b"not an image at all")
+        assert main(["decode", str(bad), str(tmp_path / "o.ppm")]) == 1
+
+    def test_simulate(self, capsys):
+        assert main([
+            "simulate", "--seconds", "120", "--sites", "2",
+            "--width", "360", "--max-height", "800",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "user-c" in out
+        assert "server:" in out

@@ -1,0 +1,75 @@
+"""Multi-transmitter deployments: geographic routing end to end.
+
+"the FM radio infrastructure consists of multiple transmitters (and
+frequencies) at different locations ... [the location] is needed by
+SONIC server to inform the proper transmitter" (Section 3.1).
+"""
+
+import pytest
+
+from repro.client.client import ClientProfile
+from repro.core.config import SystemConfig
+from repro.core.system import SonicSystem
+from repro.server.transmitters import Transmitter
+from repro.sim.geometry import Location
+
+_LAHORE = Location(31.5204, 74.3587)
+_KARACHI = Location(24.8607, 67.0011)
+
+
+@pytest.fixture(scope="module")
+def system() -> SonicSystem:
+    transmitters = [
+        Transmitter("lahore-93.7", _LAHORE, 93.7, coverage_km=30.0),
+        Transmitter("karachi-101.2", _KARACHI, 101.2, coverage_km=30.0),
+    ]
+    profiles = [
+        ClientProfile(
+            "lahore-user", _LAHORE, connection="cable",
+            has_sms=True, phone_number="+92300111",
+        ),
+        ClientProfile(
+            "karachi-user", _KARACHI, connection="cable",
+            has_sms=True, phone_number="+92300222",
+        ),
+    ]
+    sys = SonicSystem(
+        SystemConfig(
+            n_sites=2, render_width=360, max_pixel_height=800,
+            auto_hourly_push=False,
+        ),
+        transmitters=transmitters,
+        profiles=profiles,
+    )
+    return sys
+
+
+class TestGeographicRouting:
+    def test_request_routed_to_covering_transmitter(self, system):
+        url = system.generator.all_urls()[0]
+        system.client("lahore-user").request_page(url, system.clock.now)
+        system.step(60.0)  # let the SMS arrive
+        lahore = system.registry.get("lahore-93.7").carousel
+        karachi = system.registry.get("karachi-101.2").carousel
+        assert lahore.queue_length() + lahore.total_sent_bytes > 0
+        assert karachi.queue_length() == 0 and karachi.total_sent_bytes == 0
+
+    def test_broadcast_stays_regional(self, system):
+        url = system.generator.all_urls()[1]
+        system.client("lahore-user").request_page(url, system.clock.now)
+        system.run(seconds=600, step_s=5)
+        assert url in system.client("lahore-user").cache
+        # The Karachi user never hears the Lahore transmitter.
+        assert url not in system.client("karachi-user").cache
+
+    def test_each_region_serves_its_own(self, system):
+        url = system.generator.all_urls()[2]
+        system.client("karachi-user").request_page(url, system.clock.now)
+        system.run(seconds=600, step_s=5)
+        assert url in system.client("karachi-user").cache
+
+    def test_hourly_push_feeds_all_transmitters(self, system):
+        pushed = system.server.hourly_push(system.clock.now)
+        assert pushed > 0
+        for tx in system.registry.all():
+            assert tx.carousel.queue_length() > 0

@@ -1,0 +1,108 @@
+"""Full-system integration: the Figure 3 workflow."""
+
+import pytest
+
+from repro.client.browser import ClickOutcome
+from repro.core.config import SystemConfig
+from repro.core.system import SonicSystem
+
+
+@pytest.fixture(scope="module")
+def system() -> SonicSystem:
+    sys = SonicSystem(SystemConfig(n_sites=2, render_width=360, max_pixel_height=1_000))
+    sys.run(seconds=3_600, step_s=5)
+    return sys
+
+
+class TestBroadcastDelivery:
+    def test_cable_users_receive_catalog(self, system):
+        for name in ("user-b", "user-c"):
+            client = system.client(name)
+            assert len(client.cache.urls()) == len(system.generator.all_urls())
+            assert client.frame_loss_rate == 0.0
+
+    def test_air_user_sees_losses(self, system):
+        user_a = system.client("user-a")
+        assert user_a.frames_seen > 0
+        assert user_a.frame_loss_rate > 0.05
+
+    def test_broadcast_reaches_everyone(self, system):
+        """Downlink is broadcast: passive users get requested pages too."""
+        user_b = system.client("user-b")
+        assert len(user_b.cache.urls()) > 0  # never sent a single SMS
+
+
+class TestRequestWorkflow:
+    def test_request_ack_and_delivery(self):
+        sys = SonicSystem(
+            SystemConfig(
+                n_sites=2, render_width=360, max_pixel_height=800,
+                auto_hourly_push=False,
+            )
+        )
+        user_c = sys.client("user-c")
+        url = sys.generator.all_urls()[1]
+        assert user_c.request_page(url, sys.clock.now)
+        sys.run(seconds=900, step_s=5)
+        assert user_c.acks
+        assert user_c.acks[0].url == url
+        assert url in user_c.cache
+        assert url not in user_c.pending_requests
+
+    def test_users_without_sms_cannot_request(self, system):
+        assert not system.client("user-a").request_page("x.pk/", 0.0)
+        assert not system.client("user-b").request_page("x.pk/", 0.0)
+
+    def test_search_workflow_end_to_end(self):
+        """FIND query -> results page broadcast -> client browses it."""
+        sys = SonicSystem(
+            SystemConfig(
+                n_sites=2, render_width=360, max_pixel_height=800,
+                auto_hourly_push=False,
+            )
+        )
+        user_c = sys.client("user-c")
+        assert user_c.search("cricket Pakistan", sys.clock.now)
+        sys.run(seconds=600, step_s=5)
+        results_urls = [u for u in user_c.cache.urls() if u.startswith("sonic.search/")]
+        assert results_urls, "search results page never delivered"
+        bundle = user_c.browser.open(results_urls[0], sys.clock.now)
+        assert bundle is not None
+        # Result links target corpus pages.
+        corpus = set(sys.generator.all_urls())
+        linked = [h for h in bundle.clickmap.hrefs() if h in corpus]
+        assert linked or len(bundle.clickmap) == 0  # zero hits is legal
+
+
+class TestBrowsing:
+    def test_catalog_and_click_flow(self, system):
+        user_c = system.client("user-c")
+        now = system.clock.now
+        entries = user_c.browser.catalog.entries(now)
+        assert entries
+        landing = next(e.url for e in entries if e.url.endswith("/"))
+        bundle = user_c.browser.open(landing, now)
+        assert bundle is not None
+        # Click the first mapped region (device coordinates).
+        region = bundle.clickmap.regions[0]
+        factor = user_c.profile.scale_factor
+        result = user_c.click(
+            int((region.x + 2) * factor), int((region.y + 2) * factor), now
+        )
+        assert result.outcome in (ClickOutcome.CACHE_HIT, ClickOutcome.NEEDS_UPLINK)
+
+    def test_stats_coherent(self, system):
+        stats = system.server.stats
+        assert stats.pushes >= len(system.generator.all_urls())
+        assert stats.renders > 0
+
+
+class TestConfig:
+    def test_frames_per_second(self):
+        assert SystemConfig(broadcast_rate_bps=10_000).frames_per_second == 12.5
+
+    def test_custom_profiles(self):
+        sys = SonicSystem(
+            SystemConfig(n_sites=2, auto_hourly_push=False), profiles=[]
+        )
+        assert sys.clients == []

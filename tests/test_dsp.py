@@ -1,0 +1,120 @@
+"""DSP primitives: filters, chirps, spectra."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.chirp import linear_chirp, matched_filter_peak
+from repro.dsp.filters import filter_signal, fir_bandpass, fir_lowpass, resample
+from repro.dsp.spectrum import band_power_db, power_db, rms
+
+
+class TestFilters:
+    def test_lowpass_attenuates_high_band(self):
+        fs = 48_000.0
+        taps = fir_lowpass(5_000.0, fs, 255)
+        t = np.arange(4800) / fs
+        low = np.sin(2 * np.pi * 1_000 * t)
+        high = np.sin(2 * np.pi * 15_000 * t)
+        out = filter_signal(taps, low + high)
+        # The filtered signal should closely track the low tone only.
+        core = slice(500, -500)
+        assert np.max(np.abs(out[core] - low[core])) < 0.05
+
+    def test_bandpass_selects_band(self):
+        fs = 192_000.0
+        taps = fir_bandpass(55_000, 59_000, fs, 511)
+        t = np.arange(19_200) / fs
+        inside = np.sin(2 * np.pi * 57_000 * t)
+        outside = np.sin(2 * np.pi * 19_000 * t)
+        out = filter_signal(taps, inside + outside)
+        assert band_power_db(out, fs, 56_000, 58_000) > band_power_db(
+            out, fs, 18_000, 20_000
+        ) + 30
+
+    def test_delay_compensation_aligns(self):
+        fs = 48_000.0
+        taps = fir_lowpass(8_000.0, fs, 127)
+        t = np.arange(2400) / fs
+        x = np.sin(2 * np.pi * 2_000 * t)
+        y = filter_signal(taps, x, compensate_delay=True)
+        lag = np.argmax(np.correlate(y[200:-200], x[200:-200], "full")) - (
+            x[200:-200].size - 1
+        )
+        assert abs(lag) <= 1
+
+    def test_invalid_cutoffs(self):
+        with pytest.raises(ValueError):
+            fir_lowpass(30_000, 48_000)
+        with pytest.raises(ValueError):
+            fir_bandpass(5_000, 4_000, 48_000)
+        with pytest.raises(ValueError):
+            fir_lowpass(1_000, 48_000, num_taps=128)  # even taps
+
+    def test_resample_ratio(self):
+        x = np.sin(np.linspace(0, 20 * np.pi, 1000))
+        up = resample(x, 4, 1)
+        assert up.size == 4000
+        down = resample(up, 1, 4)
+        assert down.size == 1000
+        assert np.max(np.abs(down[50:-50] - x[50:-50])) < 0.02
+
+    def test_resample_identity(self):
+        x = np.arange(10.0)
+        assert np.array_equal(resample(x, 3, 3), x)
+
+
+class TestChirp:
+    def test_duration_and_amplitude(self):
+        c = linear_chirp(1_000, 5_000, 0.05, 48_000, amplitude=0.5)
+        assert c.size == 2400
+        assert np.max(np.abs(c)) <= 0.5 + 1e-9
+
+    def test_matched_filter_finds_position(self):
+        c = linear_chirp(2_000, 12_000, 0.03, 48_000)
+        x = np.zeros(20_000)
+        x[7_000 : 7_000 + c.size] = c
+        rng = np.random.default_rng(0)
+        x += rng.normal(0, 0.2, x.size)
+        peaks = matched_filter_peak(x, c, threshold=0.4)
+        assert len(peaks) == 1
+        assert abs(peaks[0][0] - 7_000) <= 2
+
+    def test_multiple_occurrences(self):
+        c = linear_chirp(2_000, 12_000, 0.02, 48_000)
+        x = np.zeros(30_000)
+        for start in (2_000, 12_000, 25_000):
+            x[start : start + c.size] = c
+        peaks = matched_filter_peak(x, c, threshold=0.5)
+        assert [p for p, _ in peaks] == pytest.approx([2_000, 12_000, 25_000], abs=2)
+
+    def test_absent_template(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 10_000)
+        c = linear_chirp(2_000, 12_000, 0.02, 48_000)
+        assert matched_filter_peak(x, c, threshold=0.6) == []
+
+    def test_short_buffer(self):
+        c = linear_chirp(2_000, 12_000, 0.02, 48_000)
+        assert matched_filter_peak(c[:100], c) == []
+
+
+class TestSpectrum:
+    def test_rms_of_sine(self):
+        t = np.arange(48_000) / 48_000
+        x = np.sin(2 * np.pi * 440 * t)
+        assert rms(x) == pytest.approx(1 / np.sqrt(2), rel=1e-3)
+
+    def test_power_db_unit(self):
+        assert power_db(np.ones(100)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_band_power_concentration(self):
+        fs = 48_000.0
+        t = np.arange(9_600) / fs
+        x = np.sin(2 * np.pi * 9_200 * t)
+        inside = band_power_db(x, fs, 9_000, 9_400)
+        outside = band_power_db(x, fs, 1_000, 2_000)
+        assert inside - outside > 40
+
+    def test_empty_signal(self):
+        assert rms(np.zeros(0)) == 0.0
+        assert power_db(np.zeros(0)) == -200.0

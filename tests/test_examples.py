@@ -1,0 +1,35 @@
+"""Examples stay runnable: compile every script and run the fastest one."""
+
+import compileall
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 5  # the deliverable floor is three
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(script):
+    assert compileall.compile_file(script, quiet=2), script
+
+
+@pytest.mark.slow
+def test_rds_datacast_runs_end_to_end():
+    """The fastest example executes cleanly as a subprocess."""
+    script = Path(__file__).parent.parent / "examples" / "rds_datacast.py"
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "roundtrip: OK" in result.stdout

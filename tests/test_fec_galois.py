@@ -1,0 +1,87 @@
+"""GF(256) field axioms and table consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fec.galois import GF
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(nonzero, nonzero)
+    def test_mul_commutative(self, a, b):
+        assert GF.mul(a, b) == GF.mul(b, a)
+
+    @given(nonzero, nonzero, nonzero)
+    def test_mul_associative(self, a, b, c):
+        assert GF.mul(GF.mul(a, b), c) == GF.mul(a, GF.mul(b, c))
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert GF.mul(a, GF.inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert GF.div(a, b) == GF.mul(a, GF.inv(b))
+
+    @given(elements)
+    def test_mul_by_zero(self, a):
+        assert GF.mul(a, 0) == 0
+        assert GF.mul(0, a) == 0
+
+    @given(elements)
+    def test_mul_identity(self, a):
+        assert GF.mul(a, 1) == a
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF.div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            GF.inv(0)
+
+    @given(nonzero)
+    def test_log_exp_inverse(self, a):
+        assert GF.exp(GF.log(a)) == a
+
+    def test_generator_order(self):
+        # alpha generates the full multiplicative group of order 255.
+        seen = set()
+        for i in range(255):
+            seen.add(GF.exp(i))
+        assert len(seen) == 255
+
+    @given(nonzero, st.integers(min_value=-5, max_value=510))
+    def test_pow_consistent(self, a, k):
+        expected = 1
+        if k >= 0:
+            for _ in range(k):
+                expected = GF.mul(expected, a)
+        else:
+            inv = GF.inv(a)
+            for _ in range(-k):
+                expected = GF.mul(expected, inv)
+        assert GF.pow(a, k) == expected
+
+
+class TestVectorOps:
+    @given(st.lists(elements, min_size=1, max_size=20), nonzero)
+    def test_mul_vec_matches_scalar(self, values, scalar):
+        arr = np.array(values)
+        out = GF.mul_vec(arr, scalar)
+        for v, o in zip(values, out):
+            assert GF.mul(v, scalar) == o
+
+    def test_poly_eval_many_matches_scalar(self):
+        poly = np.array([3, 0, 7, 1])
+        xs = np.arange(256)
+        many = GF.poly_eval_many(poly, xs)
+        for x in (0, 1, 2, 37, 255):
+            assert many[x] == GF.poly_eval(poly, x)
+
+    def test_poly_mul_identity(self):
+        p = np.array([5, 4, 3])
+        one = np.array([1])
+        assert np.array_equal(GF.poly_mul(p, one), p)

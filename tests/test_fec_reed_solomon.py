@@ -1,0 +1,134 @@
+"""Reed-Solomon codec: correction capacity, erasures, failure modes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fec.reed_solomon import ReedSolomon, RSDecodeError
+
+
+@pytest.fixture(scope="module")
+def rs16() -> ReedSolomon:
+    return ReedSolomon(nsym=16)
+
+
+class TestEncode:
+    def test_systematic(self, rs16):
+        data = bytes(range(50))
+        block = rs16.encode(data)
+        assert block[:50] == data
+        assert len(block) == 50 + 16
+
+    def test_empty_rejected(self, rs16):
+        with pytest.raises(ValueError):
+            rs16.encode(b"")
+
+    def test_oversized_rejected(self, rs16):
+        with pytest.raises(ValueError):
+            rs16.encode(bytes(240))
+
+    def test_max_data_len(self, rs16):
+        assert rs16.max_data_len == 239
+        block = rs16.encode(bytes(239))
+        assert len(block) == 255
+
+    def test_clean_block_checks(self, rs16):
+        assert rs16.check(rs16.encode(b"hello sonic"))
+
+    def test_invalid_nsym(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(nsym=0)
+        with pytest.raises(ValueError):
+            ReedSolomon(nsym=255)
+
+
+class TestErrorCorrection:
+    def test_no_errors(self, rs16):
+        data = b"the quick brown fox"
+        assert rs16.decode(rs16.encode(data)) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.binary(min_size=10, max_size=100),
+        n_errors=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_corrects_up_to_capacity(self, rs16, data, n_errors, seed):
+        rng = np.random.default_rng(seed)
+        block = bytearray(rs16.encode(data))
+        positions = rng.choice(len(block), size=n_errors, replace=False)
+        for pos in positions:
+            block[pos] ^= int(rng.integers(1, 256))
+        assert rs16.decode(bytes(block)) == data
+
+    def test_reports_corrected_count(self, rs16):
+        block = bytearray(rs16.encode(b"payload"))
+        block[0] ^= 0xFF
+        block[3] ^= 0x01
+        report = rs16.decode_detailed(bytes(block))
+        assert report.corrected == 2
+
+    def test_beyond_capacity_raises(self, rs16):
+        rng = np.random.default_rng(0)
+        data = bytes(rng.integers(0, 256, 100, dtype=np.uint8))
+        block = bytearray(rs16.encode(data))
+        # Corrupt far beyond capacity; decoder must raise, not lie.
+        for pos in range(0, 60):
+            block[pos] ^= int(rng.integers(1, 256))
+        with pytest.raises(RSDecodeError):
+            rs16.decode(bytes(block))
+
+    def test_check_fails_on_corruption(self, rs16):
+        block = bytearray(rs16.encode(b"x" * 30))
+        block[2] ^= 1
+        assert not rs16.check(bytes(block))
+
+
+class TestErasures:
+    def test_twice_as_many_erasures(self, rs16):
+        rng = np.random.default_rng(1)
+        data = bytes(rng.integers(0, 256, 80, dtype=np.uint8))
+        block = bytearray(rs16.encode(data))
+        positions = rng.choice(len(block), size=16, replace=False)
+        for pos in positions:
+            block[pos] ^= int(rng.integers(1, 256))
+        out = rs16.decode(bytes(block), erase_pos=[int(p) for p in positions])
+        assert out == data
+
+    def test_mixed_errors_and_erasures(self, rs16):
+        rng = np.random.default_rng(2)
+        data = bytes(rng.integers(0, 256, 60, dtype=np.uint8))
+        block = bytearray(rs16.encode(data))
+        corrupt = rng.choice(len(block), size=10, replace=False)
+        for pos in corrupt:
+            block[pos] ^= int(rng.integers(1, 256))
+        # Flag 6 as erasures, leave 4 unknown: 2*4 + 6 = 14 <= 16.
+        out = rs16.decode(bytes(block), erase_pos=[int(p) for p in corrupt[:6]])
+        assert out == data
+
+    def test_too_many_erasures_raises(self, rs16):
+        block = rs16.encode(bytes(40))
+        with pytest.raises(RSDecodeError):
+            rs16.decode(block, erase_pos=list(range(17)))
+
+    def test_erasure_position_validated(self, rs16):
+        block = rs16.encode(bytes(40))
+        with pytest.raises(ValueError):
+            rs16.decode(block, erase_pos=[len(block)])
+
+
+class TestOtherStrengths:
+    @pytest.mark.parametrize("nsym", [2, 4, 8, 32, 64])
+    def test_roundtrip_with_errors(self, nsym):
+        rs = ReedSolomon(nsym=nsym)
+        rng = np.random.default_rng(nsym)
+        data = bytes(rng.integers(0, 256, min(100, rs.max_data_len), dtype=np.uint8))
+        block = bytearray(rs.encode(data))
+        for pos in rng.choice(len(block), size=nsym // 2, replace=False):
+            block[pos] ^= int(rng.integers(1, 256))
+        assert rs.decode(bytes(block)) == data
+
+    def test_block_too_short_rejected(self):
+        rs = ReedSolomon(nsym=16)
+        with pytest.raises(ValueError):
+            rs.decode(bytes(10))

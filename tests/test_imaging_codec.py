@@ -1,0 +1,111 @@
+"""SWebp codec: rate-quality behaviour and robustness."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.codec import CodecError, SWebpCodec
+from repro.imaging.metrics import psnr_db
+
+
+class TestRoundTrip:
+    def test_color_decode_shape_dtype(self, page_image):
+        codec = SWebpCodec(50)
+        out = codec.decode(codec.encode(page_image))
+        assert out.shape == page_image.shape
+        assert out.dtype == np.uint8
+
+    def test_grayscale(self, page_image):
+        grey = page_image[:, :, 0]
+        codec = SWebpCodec(50)
+        out = codec.decode(codec.encode(grey))
+        assert out.shape == grey.shape
+        assert psnr_db(grey, out) > 25
+
+    def test_high_quality_near_lossless(self, photo_image):
+        # 4:2:0 chroma subsampling bounds colour PSNR on chroma-rich
+        # noise; luma should be near-transparent at Q95.
+        codec = SWebpCodec(95)
+        out = codec.decode(codec.encode(photo_image))
+        assert psnr_db(photo_image, out) > 30
+        grey = photo_image[:, :, 1]
+        assert psnr_db(grey, codec.decode(codec.encode(grey))) > 40
+
+    def test_flat_image_tiny(self):
+        flat = np.full((64, 64, 3), 200, dtype=np.uint8)
+        data = SWebpCodec(10).encode(flat)
+        assert len(data) < 600
+        out = SWebpCodec(10).decode(data)
+        assert np.all(np.abs(out.astype(int) - 200) <= 4)
+
+    def test_odd_dimensions(self):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 256, (37, 53, 3), dtype=np.uint8)
+        out = SWebpCodec(90).decode(SWebpCodec(90).encode(img))
+        assert out.shape == img.shape
+
+    def test_single_pixel(self):
+        px = np.array([[[255, 0, 0]]], dtype=np.uint8)
+        out = SWebpCodec(90).decode(SWebpCodec(90).encode(px))
+        assert out.shape == (1, 1, 3)
+
+
+class TestRateQuality:
+    def test_size_grows_with_quality(self, page_image):
+        sizes = {q: len(SWebpCodec(q).encode(page_image)) for q in (10, 50, 90)}
+        assert sizes[10] < sizes[50] < sizes[90]
+
+    def test_paper_q10_vs_q90_ratio(self, page_image):
+        """The paper: ~200 KB at Q10 vs ~700 KB at Q90 — roughly 3-4x."""
+        q10 = len(SWebpCodec(10).encode(page_image))
+        q90 = len(SWebpCodec(90).encode(page_image))
+        assert 2.0 < q90 / q10 < 6.0
+
+    def test_fidelity_grows_with_quality(self, photo_image):
+        psnrs = {}
+        for q in (10, 50, 90):
+            codec = SWebpCodec(q)
+            psnrs[q] = psnr_db(photo_image, codec.decode(codec.encode(photo_image)))
+        assert psnrs[10] < psnrs[50] < psnrs[90]
+
+    def test_compression_vs_raw(self, page_image):
+        data = SWebpCodec(10).encode(page_image)
+        # The paper's motivation: ~10x compression; pages achieve far more.
+        assert len(data) < page_image.nbytes / 10
+
+    def test_encoded_size_matches_encode(self, photo_image):
+        codec = SWebpCodec(30)
+        assert codec.encoded_size(photo_image) == len(codec.encode(photo_image))
+
+
+class TestValidation:
+    def test_quality_range(self):
+        with pytest.raises(ValueError):
+            SWebpCodec(96)
+        with pytest.raises(ValueError):
+            SWebpCodec(-1)
+
+    def test_dtype_checked(self):
+        with pytest.raises(ValueError):
+            SWebpCodec(10).encode(np.zeros((8, 8, 3), dtype=np.float64))
+
+    def test_channel_count_checked(self):
+        with pytest.raises(ValueError):
+            SWebpCodec(10).encode(np.zeros((8, 8, 4), dtype=np.uint8))
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            SWebpCodec(10).decode(b"JUNKDATA" * 4)
+
+    def test_truncated_stream(self, photo_image):
+        data = SWebpCodec(10).encode(photo_image)
+        with pytest.raises(CodecError):
+            SWebpCodec(10).decode(data[: len(data) // 2])
+
+    def test_quality_read_from_stream(self, photo_image):
+        """Decoding uses the quality stored in the header, not the
+        decoder instance's — a Q90 stream decodes fine via a Q10 codec."""
+        data = SWebpCodec(90).encode(photo_image)
+        out = SWebpCodec(10).decode(data)
+        assert psnr_db(photo_image, out) > 29
+        # And it must match what the Q90 instance itself decodes.
+        assert np.array_equal(out, SWebpCodec(90).decode(data))

@@ -1,0 +1,58 @@
+"""Colour conversion and chroma subsampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.imaging.color import downsample_420, rgb_to_ycbcr, upsample_420, ycbcr_to_rgb
+
+
+class TestYCbCr:
+    def test_grey_axis(self):
+        grey = np.full((4, 4, 3), 128, dtype=np.uint8)
+        ycc = rgb_to_ycbcr(grey)
+        assert np.allclose(ycc[..., 0], 128.0)
+        assert np.allclose(ycc[..., 1], 128.0, atol=1e-9)
+        assert np.allclose(ycc[..., 2], 128.0, atol=1e-9)
+
+    def test_primaries_luma_ordering(self):
+        for color, luma in (((255, 0, 0), 76.2), ((0, 255, 0), 149.7), ((0, 0, 255), 29.1)):
+            px = np.array([[color]], dtype=np.uint8)
+            assert rgb_to_ycbcr(px)[0, 0, 0] == pytest.approx(luma, abs=0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_roundtrip_within_rounding(self, r, g, b):
+        px = np.array([[[r, g, b]]], dtype=np.uint8)
+        out = ycbcr_to_rgb(rgb_to_ycbcr(px))
+        assert np.all(np.abs(out.astype(int) - px.astype(int)) <= 1)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            rgb_to_ycbcr(np.zeros((4, 4), dtype=np.uint8))
+
+
+class TestSubsampling:
+    def test_downsample_shape(self):
+        plane = np.arange(64, dtype=np.float64).reshape(8, 8)
+        assert downsample_420(plane).shape == (4, 4)
+
+    def test_downsample_is_box_average(self):
+        plane = np.array([[0.0, 4.0], [8.0, 12.0]])
+        assert downsample_420(plane)[0, 0] == 6.0
+
+    def test_odd_dimensions_padded(self):
+        plane = np.ones((5, 7))
+        assert downsample_420(plane).shape == (3, 4)
+
+    def test_upsample_roundtrip_constant(self):
+        plane = np.full((3, 3), 42.0)
+        up = upsample_420(plane, 6, 6)
+        assert up.shape == (6, 6)
+        assert np.all(up == 42.0)
+
+    def test_up_down_identity_on_constant_blocks(self):
+        rng = np.random.default_rng(0)
+        small = rng.uniform(0, 255, (4, 5))
+        recovered = downsample_420(upsample_420(small, 8, 10))
+        assert np.allclose(recovered, small)

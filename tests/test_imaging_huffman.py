@@ -1,0 +1,140 @@
+"""Canonical Huffman coding and bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.imaging.huffman import (
+    BitReader,
+    CanonicalHuffman,
+    MAX_CODE_LEN,
+    build_code_lengths,
+    pack_fields,
+)
+
+
+class TestCodeLengths:
+    def test_kraft_inequality(self):
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(0, 1000, 256)
+        lengths = build_code_lengths(freqs)
+        kraft = sum(0.5 ** l for l in lengths if l > 0)
+        assert kraft <= 1.0 + 1e-12
+
+    def test_frequent_symbols_get_short_codes(self):
+        freqs = np.zeros(256, dtype=int)
+        freqs[0] = 1000
+        freqs[1] = 10
+        freqs[2] = 10
+        lengths = build_code_lengths(freqs)
+        assert lengths[0] <= lengths[1]
+
+    def test_single_symbol(self):
+        freqs = np.zeros(256, dtype=int)
+        freqs[42] = 5
+        lengths = build_code_lengths(freqs)
+        assert lengths[42] == 1
+        assert lengths.sum() == 1
+
+    def test_empty(self):
+        assert build_code_lengths(np.zeros(256, dtype=int)).sum() == 0
+
+    def test_length_cap(self):
+        # An exponential (Fibonacci-like) distribution forces deep trees.
+        freqs = np.zeros(64, dtype=int)
+        a, b = 1, 1
+        for i in range(40):
+            freqs[i] = a
+            a, b = b, a + b
+        lengths = build_code_lengths(freqs)
+        assert lengths.max() <= MAX_CODE_LEN
+        kraft = sum(0.5 ** l for l in lengths if l > 0)
+        assert kraft <= 1.0 + 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), min_size=2, max_size=256))
+    def test_prefix_free(self, freq_list):
+        freqs = np.array(freq_list + [0] * (256 - len(freq_list)))
+        table = CanonicalHuffman(build_code_lengths(freqs))
+        codes = [
+            (int(table.codes[s]), int(l))
+            for s, l in enumerate(table.lengths)
+            if l > 0
+        ]
+        for i, (code_a, len_a) in enumerate(codes):
+            for code_b, len_b in codes[i + 1 :]:
+                shorter = min(len_a, len_b)
+                assert (code_a >> (len_a - shorter)) != (code_b >> (len_b - shorter))
+
+
+class TestPackFields:
+    def test_simple(self):
+        out = pack_fields(np.array([0b101, 0b1]), np.array([3, 1]))
+        assert out == bytes([0b10110000])
+
+    def test_zero_length_skipped(self):
+        out = pack_fields(np.array([7, 3]), np.array([0, 2]))
+        assert out == bytes([0b11000000])
+
+    def test_empty(self):
+        assert pack_fields(np.array([]), np.array([])) == b""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_roundtrip_via_bitreader(self, fields):
+        values = np.array([v & ((1 << l) - 1) for v, l in fields])
+        lengths = np.array([l for _, l in fields])
+        data = pack_fields(values, lengths)
+        reader = BitReader(data)
+        for v, l in zip(values, lengths):
+            assert reader.read(int(l)) == int(v)
+
+
+class TestBitReader:
+    def test_peek_does_not_advance(self):
+        reader = BitReader(bytes([0xAB, 0xCD, 0xEF, 0x01]))
+        assert reader.peek16() == 0xABCD
+        assert reader.peek16() == 0xABCD
+        assert reader.read(8) == 0xAB
+
+    def test_eof(self):
+        reader = BitReader(bytes([0xFF]))
+        reader.read(8)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_peek_decode_consistency(self):
+        freqs = np.zeros(256, dtype=int)
+        for s, f in ((5, 100), (9, 50), (200, 25), (3, 5)):
+            freqs[s] = f
+        table = CanonicalHuffman(build_code_lengths(freqs))
+        symbols = [5, 9, 200, 3, 5, 5, 9]
+        values = table.codes[symbols]
+        lengths = table.lengths[symbols]
+        data = pack_fields(values, lengths.astype(np.int64))
+        sym_tab, len_tab = table.peek_tables
+        reader = BitReader(data)
+        decoded = []
+        for _ in symbols:
+            peek = reader.peek16()
+            decoded.append(int(sym_tab[peek]))
+            reader.skip(int(len_tab[peek]))
+        assert decoded == symbols
+
+
+class TestSerialization:
+    def test_table_roundtrip(self):
+        freqs = np.zeros(256, dtype=int)
+        freqs[[0, 15, 240, 255]] = [10, 20, 30, 40]
+        table = CanonicalHuffman(build_code_lengths(freqs))
+        blob = table.serialize()
+        restored, offset = CanonicalHuffman.deserialize(blob, 0)
+        assert offset == len(blob)
+        assert np.array_equal(restored.lengths, table.lengths)
+        assert np.array_equal(restored.codes, table.codes)

@@ -1,0 +1,113 @@
+"""Nearest-neighbour missing-pixel recovery."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.interpolate import (
+    apply_loss,
+    interpolate_missing,
+    loss_mask_from_columns,
+)
+
+
+class TestMask:
+    def test_column_segments(self):
+        mask = loss_mask_from_columns((10, 5), [(2, 3, 7)])
+        assert mask[3:7, 2].all()
+        assert mask.sum() == 4
+
+    def test_clamped_to_image(self):
+        mask = loss_mask_from_columns((5, 5), [(0, -3, 99)])
+        assert mask[:, 0].all()
+        assert mask.sum() == 5
+
+    def test_bad_column_rejected(self):
+        with pytest.raises(ValueError):
+            loss_mask_from_columns((5, 5), [(7, 0, 2)])
+
+
+class TestApplyLoss:
+    def test_masks_to_fill_value(self):
+        img = np.full((4, 4, 3), 200, dtype=np.uint8)
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 2] = True
+        out = apply_loss(img, mask)
+        assert (out[1, 2] == 0).all()
+        assert (out[0, 0] == 200).all()
+
+    def test_original_untouched(self):
+        img = np.full((4, 4, 3), 200, dtype=np.uint8)
+        mask = np.ones((4, 4), dtype=bool)
+        apply_loss(img, mask)
+        assert (img == 200).all()
+
+
+class TestInterpolation:
+    def test_left_priority(self):
+        """The paper: missing pixels take the left neighbour first."""
+        img = np.zeros((1, 3, 3), dtype=np.uint8)
+        img[0, 0] = [10, 10, 10]
+        img[0, 2] = [99, 99, 99]
+        mask = np.zeros((1, 3), dtype=bool)
+        mask[0, 1] = True
+        out = interpolate_missing(img, mask)
+        assert (out[0, 1] == 10).all()  # left wins over right
+
+    def test_right_fallback_at_left_edge(self):
+        img = np.zeros((1, 2, 3), dtype=np.uint8)
+        img[0, 1] = [55, 55, 55]
+        mask = np.zeros((1, 2), dtype=bool)
+        mask[0, 0] = True
+        out = interpolate_missing(img, mask)
+        assert (out[0, 0] == 55).all()
+
+    def test_single_lost_column_fully_recovered_on_uniform(self):
+        img = np.full((20, 10, 3), 180, dtype=np.uint8)
+        mask = loss_mask_from_columns((20, 10), [(4, 0, 20)])
+        damaged = apply_loss(img, mask)
+        out = interpolate_missing(damaged, mask)
+        assert (out == 180).all()
+
+    def test_wide_gap_fills_progressively(self):
+        img = np.full((4, 12, 3), 77, dtype=np.uint8)
+        mask = np.zeros((4, 12), dtype=bool)
+        mask[:, 3:9] = True  # six adjacent lost columns
+        out = interpolate_missing(apply_loss(img, mask), mask)
+        assert (out == 77).all()
+
+    def test_no_wraparound_from_roll(self):
+        """Edge pixels must not borrow from the opposite edge."""
+        img = np.zeros((3, 4, 3), dtype=np.uint8)
+        img[:, -1] = 250  # bright right edge
+        mask = np.zeros((3, 4), dtype=bool)
+        mask[:, 0] = True  # lost left column
+        img2 = img.copy()
+        img2[mask] = 0
+        out = interpolate_missing(img2, mask)
+        # The left column's donor is its right neighbour (0), never the
+        # wrapped-around 250 edge.
+        assert (out[:, 0] == 0).all()
+
+    def test_grayscale_supported(self):
+        img = np.full((5, 5), 100, dtype=np.uint8)
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 2] = True
+        img2 = img.copy()
+        img2[2, 2] = 0
+        assert interpolate_missing(img2, mask)[2, 2] == 100
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError):
+            interpolate_missing(
+                np.zeros((4, 4, 3), dtype=np.uint8), np.zeros((3, 3), dtype=bool)
+            )
+
+    def test_improves_fidelity_on_page(self, page_image):
+        from repro.imaging.metrics import psnr_db
+        rng = np.random.default_rng(0)
+        mask = np.zeros(page_image.shape[:2], dtype=bool)
+        lost_cols = rng.choice(page_image.shape[1], 40, replace=False)
+        mask[:, lost_cols] = True
+        damaged = apply_loss(page_image, mask)
+        repaired = interpolate_missing(damaged, mask)
+        assert psnr_db(page_image, repaired) > psnr_db(page_image, damaged) + 5

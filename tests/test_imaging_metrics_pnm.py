@@ -1,0 +1,69 @@
+"""Quality metrics and PNM file round trips."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.metrics import mse, psnr_db, ssim
+from repro.imaging.pnm import read_pnm, write_pgm, write_ppm
+
+
+class TestMetrics:
+    def test_identical_images(self, photo_image):
+        assert mse(photo_image, photo_image) == 0.0
+        assert psnr_db(photo_image, photo_image) == 100.0
+        assert ssim(photo_image, photo_image) == pytest.approx(1.0, abs=1e-9)
+
+    def test_mse_known_value(self):
+        a = np.zeros((2, 2), dtype=np.uint8)
+        b = np.full((2, 2), 10, dtype=np.uint8)
+        assert mse(a, b) == 100.0
+
+    def test_psnr_ordering(self, photo_image):
+        rng = np.random.default_rng(0)
+        small = photo_image.astype(int) + rng.integers(-5, 6, photo_image.shape)
+        large = photo_image.astype(int) + rng.integers(-50, 51, photo_image.shape)
+        small = np.clip(small, 0, 255).astype(np.uint8)
+        large = np.clip(large, 0, 255).astype(np.uint8)
+        assert psnr_db(photo_image, small) > psnr_db(photo_image, large)
+
+    def test_ssim_penalises_structural_damage(self, page_image):
+        blackout = page_image.copy()
+        blackout[:, ::3] = 0
+        assert ssim(page_image, blackout) < 0.7
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            ssim(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestPnm:
+    def test_ppm_roundtrip(self, tmp_path, photo_image):
+        path = tmp_path / "img.ppm"
+        write_ppm(path, photo_image)
+        assert np.array_equal(read_pnm(path), photo_image)
+
+    def test_pgm_roundtrip(self, tmp_path, photo_image):
+        path = tmp_path / "img.pgm"
+        grey = photo_image[:, :, 1]
+        write_pgm(path, grey)
+        assert np.array_equal(read_pnm(path), grey)
+
+    def test_header_format(self, tmp_path):
+        path = tmp_path / "tiny.ppm"
+        write_ppm(path, np.zeros((2, 3, 3), dtype=np.uint8))
+        header = path.read_bytes()[:11]
+        assert header.startswith(b"P6\n3 2\n255\n")
+
+    def test_type_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 2), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 2, 3), dtype=np.uint8))
+
+    def test_read_rejects_other_formats(self, tmp_path):
+        path = tmp_path / "bad.pnm"
+        path.write_bytes(b"P3\n1 1\n255\n0 0 0\n")
+        with pytest.raises(ValueError):
+            read_pnm(path)

@@ -1,0 +1,94 @@
+"""Constellation mapping/demapping invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.modem.constellation import Constellation
+
+ORDERS = [2, 4, 16, 64, 256, 1024]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_unit_average_power(self, order):
+        c = Constellation(order)
+        assert np.mean(np.abs(c.points) ** 2) == pytest.approx(1.0, rel=1e-9)
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_all_points_distinct(self, order):
+        c = Constellation(order)
+        assert len(set(np.round(c.points, 9))) == order
+
+    def test_unsupported_order(self):
+        with pytest.raises(ValueError):
+            Constellation(8)
+
+    @pytest.mark.parametrize("order", [4, 16, 64])
+    def test_gray_property_neighbours_differ_by_one_bit(self, order):
+        """Nearest constellation neighbours differ in exactly one bit."""
+        c = Constellation(order)
+        pts = c.points
+        m = c.bits_per_symbol
+        min_dist = np.min(
+            [np.abs(pts[i] - pts[j]) for i in range(order) for j in range(i)]
+        )
+        for i in range(order):
+            for j in range(order):
+                if i < j and np.abs(pts[i] - pts[j]) < min_dist * 1.01:
+                    assert bin(i ^ j).count("1") == 1, (i, j)
+
+
+class TestMapping:
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_hard_roundtrip(self, order):
+        c = Constellation(order)
+        rng = np.random.default_rng(order)
+        bits = rng.integers(0, 2, c.bits_per_symbol * 50).astype(np.uint8)
+        symbols = c.map_bits(bits)
+        assert np.array_equal(c.demap_hard(symbols), bits)
+
+    def test_bit_count_validated(self):
+        c = Constellation(16)
+        with pytest.raises(ValueError):
+            c.map_bits(np.ones(5, dtype=np.uint8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_hard_roundtrip_with_mild_noise(self, seed):
+        c = Constellation(16)
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, c.bits_per_symbol * 30).astype(np.uint8)
+        symbols = c.map_bits(bits)
+        noisy = symbols + (rng.normal(0, 0.05, symbols.size) + 1j * rng.normal(0, 0.05, symbols.size))
+        assert np.array_equal(c.demap_hard(noisy), bits)
+
+
+class TestSoftDemap:
+    @pytest.mark.parametrize("order", [2, 4, 16, 64])
+    def test_signs_match_hard_decision_when_clean(self, order):
+        c = Constellation(order)
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, c.bits_per_symbol * 40).astype(np.uint8)
+        soft = c.demap_soft(c.map_bits(bits))
+        hard_from_soft = (soft < 0).astype(np.uint8)
+        assert np.array_equal(hard_from_soft, bits)
+
+    def test_confidence_scales_with_noise_var(self):
+        c = Constellation(4)
+        bits = np.array([0, 0, 1, 1], dtype=np.uint8)
+        sym = c.map_bits(bits)
+        strong = c.demap_soft(sym, noise_var=0.1)
+        weak = c.demap_soft(sym, noise_var=1.0)
+        assert np.all(np.abs(strong) > np.abs(weak))
+
+    def test_noise_var_validated(self):
+        c = Constellation(4)
+        with pytest.raises(ValueError):
+            c.demap_soft(np.array([1 + 1j]), noise_var=0.0)
+
+    def test_ambiguous_symbol_low_confidence(self):
+        c = Constellation(2)
+        # A received point at the decision boundary carries ~zero LLR.
+        soft = c.demap_soft(np.array([0.0 + 0j]))
+        assert abs(soft[0]) < 1e-9

@@ -1,0 +1,130 @@
+"""Frame codec: the CRC-32 + RS + interleave + convolutional pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.modem.frame import FecConfig, FrameCodec, FrameDecodeError
+
+
+@pytest.fixture(scope="module")
+def codec() -> FrameCodec:
+    return FrameCodec(FecConfig(payload_size=100, rs_nsym=16, conv="v29"))
+
+
+def _soft(bits: np.ndarray) -> np.ndarray:
+    return 1.0 - 2.0 * bits.astype(np.float64)
+
+
+class TestRoundTrip:
+    def test_clean(self, codec):
+        rng = np.random.default_rng(0)
+        payload = bytes(rng.integers(0, 256, 100, dtype=np.uint8))
+        assert codec.decode(_soft(codec.encode(payload))) == payload
+
+    def test_wrong_payload_size(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(bytes(99))
+
+    def test_frame_bits_static(self, codec):
+        # All frames occupy the same coded length (static PHY schedule).
+        a = codec.encode(bytes(100))
+        b = codec.encode(bytes(range(100)) + bytes(0))
+        assert a.size == b.size == codec.frame_bits
+
+    def test_overhead_ratio(self, codec):
+        # v29 (rate 1/2) + RS(120,104) + CRC: between 2x and 3x expansion.
+        assert 2.0 < codec.overhead_ratio < 3.0
+
+    def test_short_soft_input_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.decode(np.ones(10))
+
+
+class TestErrorHandling:
+    def test_corrects_channel_errors(self, codec):
+        rng = np.random.default_rng(1)
+        payload = bytes(rng.integers(0, 256, 100, dtype=np.uint8))
+        soft = _soft(codec.encode(payload))
+        flips = rng.choice(soft.size, size=int(0.04 * soft.size), replace=False)
+        soft[flips] *= -1
+        assert codec.decode(soft) == payload
+
+    def test_unrecoverable_raises(self, codec):
+        rng = np.random.default_rng(2)
+        payload = bytes(rng.integers(0, 256, 100, dtype=np.uint8))
+        soft = _soft(codec.encode(payload))
+        # Random garbage for half the frame: must fail loudly, not lie.
+        soft[: soft.size // 2] = rng.normal(0, 1, soft.size // 2)
+        with pytest.raises(FrameDecodeError):
+            codec.decode(soft)
+
+    def test_crc_gates_forged_payload(self):
+        # Without RS and conv, a bit flip must still be caught by CRC.
+        codec = FrameCodec(FecConfig(payload_size=50, rs_nsym=0, conv="none"))
+        payload = bytes(range(50))
+        soft = _soft(codec.encode(payload))
+        soft[13] *= -1
+        with pytest.raises(FrameDecodeError):
+            codec.decode(soft)
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize(
+        "fec",
+        [
+            FecConfig(payload_size=100, rs_nsym=16, conv="v29"),
+            FecConfig(payload_size=100, rs_nsym=16, conv="v27"),
+            FecConfig(payload_size=100, rs_nsym=0, conv="v29"),
+            FecConfig(payload_size=100, rs_nsym=16, conv="none"),
+            FecConfig(payload_size=100, rs_nsym=0, conv="none"),
+            FecConfig(payload_size=100, rs_nsym=16, conv="v29", interleave=False),
+            FecConfig(payload_size=100, rs_nsym=16, conv="v29", scramble=False),
+            FecConfig(payload_size=300, rs_nsym=32, conv="v27"),
+        ],
+        ids=[
+            "full", "v27", "no-rs", "no-conv", "no-fec",
+            "no-interleave", "no-scramble", "large-payload",
+        ],
+    )
+    def test_roundtrip_each_config(self, fec):
+        codec = FrameCodec(fec)
+        rng = np.random.default_rng(fec.payload_size + fec.rs_nsym)
+        payload = bytes(rng.integers(0, 256, fec.payload_size, dtype=np.uint8))
+        assert codec.decode(_soft(codec.encode(payload))) == payload
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            FecConfig(payload_size=0)
+        with pytest.raises(ValueError):
+            FecConfig(conv="v99")
+        with pytest.raises(ValueError):
+            FecConfig(rs_nsym=1)
+        with pytest.raises(ValueError):
+            FecConfig(rs_nsym=200, rs_max_block=100)
+
+    def test_interleaving_helps_bursts(self):
+        """A contiguous burst that breaks the plain codec is corrected
+        once the interleaver spreads it across RS blocks."""
+        rng = np.random.default_rng(5)
+        payload = bytes(rng.integers(0, 256, 300, dtype=np.uint8))
+        outcomes = {}
+        for interleave in (False, True):
+            codec = FrameCodec(
+                FecConfig(
+                    payload_size=300,
+                    rs_nsym=8,
+                    rs_max_block=80,
+                    conv="none",
+                    interleave=interleave,
+                )
+            )
+            soft = _soft(codec.encode(payload))
+            # Burst of 9 corrupted bytes (72 bits): beyond one block's
+            # 4-error budget without interleaving.
+            start = 640
+            soft[start : start + 72] *= -1
+            try:
+                outcomes[interleave] = codec.decode(soft) == payload
+            except FrameDecodeError:
+                outcomes[interleave] = False
+        assert outcomes[True] and not outcomes[False]

@@ -1,0 +1,75 @@
+"""Erasure-aided Reed-Solomon decoding in the frame codec."""
+
+import numpy as np
+import pytest
+
+from repro.modem.frame import FecConfig, FrameCodec, FrameDecodeError
+
+
+def _soft(bits: np.ndarray) -> np.ndarray:
+    return 1.0 - 2.0 * bits.astype(np.float64)
+
+
+@pytest.fixture(scope="module")
+def codecs():
+    base = dict(payload_size=200, rs_nsym=16, rs_max_block=120, conv="none")
+    return (
+        FrameCodec(FecConfig(**base, rs_erasures=False)),
+        FrameCodec(FecConfig(**base, rs_erasures=True)),
+    )
+
+
+class TestErasureDecoding:
+    def test_clean_roundtrip(self, codecs):
+        _, with_erasures = codecs
+        payload = bytes(range(200))
+        assert with_erasures.decode(_soft(with_erasures.encode(payload))) == payload
+
+    def test_low_confidence_bytes_recovered(self, codecs):
+        """Bytes whose soft values were attenuated (fades) decode via
+        erasures beyond the plain nsym/2 error budget."""
+        plain, with_erasures = codecs
+        rng = np.random.default_rng(0)
+        payload = bytes(rng.integers(0, 256, 200, dtype=np.uint8))
+        outcomes = {}
+        for codec, label in ((plain, "plain"), (with_erasures, "erasures")):
+            survived = 0
+            for trial in range(12):
+                soft = _soft(codec.encode(payload))
+                # Fade 11 whole bytes per RS block span: flip their bits
+                # AND crush their confidence, as a channel fade does.
+                n_bytes = soft.size // 8
+                faded = rng.choice(n_bytes, size=22, replace=False)
+                for b in faded:
+                    soft[b * 8 : (b + 1) * 8] *= -0.05
+                try:
+                    if codec.decode(soft) == payload:
+                        survived += 1
+                except FrameDecodeError:
+                    pass
+            outcomes[label] = survived
+        # 11 faded bytes per block exceed the 8-error budget but fit the
+        # 14-erasure budget.
+        assert outcomes["erasures"] > outcomes["plain"]
+        assert outcomes["erasures"] >= 10
+
+    def test_confident_errors_still_handled(self, codecs):
+        """Full-confidence bit flips (no erasure hint) still correct up
+        to the classic nsym/2 budget."""
+        _, with_erasures = codecs
+        rng = np.random.default_rng(1)
+        payload = bytes(rng.integers(0, 256, 200, dtype=np.uint8))
+        soft = _soft(with_erasures.encode(payload))
+        n_bytes = soft.size // 8
+        for b in rng.choice(n_bytes, size=6, replace=False):
+            soft[b * 8 : (b + 1) * 8] *= -1.0  # hard flips, confident
+        assert with_erasures.decode(soft) == payload
+
+    def test_erasures_ignored_with_conv(self):
+        """With an inner code the flag is inert (confidence is consumed
+        by Viterbi), and decoding still works."""
+        codec = FrameCodec(
+            FecConfig(payload_size=100, rs_nsym=16, conv="v29", rs_erasures=True)
+        )
+        payload = bytes(range(100))
+        assert codec.decode(_soft(codec.encode(payload))) == payload

@@ -1,0 +1,62 @@
+"""GGwave-style FSK baseline modem."""
+
+import numpy as np
+import pytest
+
+from repro.modem.fsk import FskConfig, FskModem
+
+
+@pytest.fixture(scope="module")
+def modem() -> FskModem:
+    return FskModem()
+
+
+class TestFsk:
+    def test_roundtrip(self, modem):
+        wave = modem.transmit(b"sonic uplink msg")
+        assert modem.receive(wave) == [b"sonic uplink msg"]
+
+    def test_binary_payload(self, modem):
+        payload = bytes(range(40))
+        assert modem.receive(modem.transmit(payload)) == [payload]
+
+    def test_rate_is_ggwave_class(self, modem):
+        # GGwave reaches ~128 bps; this baseline sits in that ballpark,
+        # an order of magnitude under the OFDM profile.
+        assert 50 < modem.config.raw_bit_rate < 600
+
+    def test_noise_tolerance(self, modem):
+        rng = np.random.default_rng(0)
+        wave = modem.transmit(b"hello")
+        sig_p = np.mean(wave**2)
+        noisy = wave + rng.normal(0, np.sqrt(sig_p / 10), wave.size)  # 10 dB
+        assert modem.receive(noisy) == [b"hello"]
+
+    def test_corruption_detected_by_crc(self, modem):
+        rng = np.random.default_rng(1)
+        wave = modem.transmit(b"hello world")
+        noisy = wave + rng.normal(0, 1.5, wave.size)  # drown it
+        assert modem.receive(noisy) == []
+
+    def test_payload_bounds(self, modem):
+        with pytest.raises(ValueError):
+            modem.transmit(b"")
+        with pytest.raises(ValueError):
+            modem.transmit(bytes(256))
+
+    def test_transmission_time_estimate(self, modem):
+        wave = modem.transmit(bytes(50))
+        est = modem.transmission_seconds(50)
+        assert wave.size / modem.config.sample_rate == pytest.approx(est, rel=0.02)
+
+    def test_tone_plan_validated(self):
+        with pytest.raises(ValueError):
+            FskConfig(base_freq_hz=23_000, num_tones=16)
+        with pytest.raises(ValueError):
+            FskConfig(num_tones=5)
+
+    def test_two_messages(self, modem):
+        w = np.concatenate(
+            [modem.transmit(b"first"), np.zeros(4_000), modem.transmit(b"second")]
+        )
+        assert modem.receive(w) == [b"first", b"second"]

@@ -1,0 +1,121 @@
+"""GMSK and AudioQR-class baseline modems."""
+
+import numpy as np
+import pytest
+from scipy.signal import hilbert
+
+from repro.modem.audioqr import AudioQrConfig, AudioQrModem
+from repro.modem.gmsk import GmskConfig, GmskModem
+
+
+class TestGmsk:
+    @pytest.fixture(scope="class")
+    def modem(self) -> GmskModem:
+        return GmskModem()
+
+    def test_roundtrip(self, modem):
+        payload = b"constant envelope waveform"
+        assert modem.receive(modem.transmit(payload)) == [payload]
+
+    def test_binary_payload(self, modem):
+        payload = bytes(range(256))
+        assert modem.receive(modem.transmit(payload)) == [payload]
+
+    def test_constant_envelope(self, modem):
+        """GMSK's defining property — and why it survives clipping."""
+        wave = modem.transmit(b"x" * 64)
+        body = wave[modem._preamble.size :]
+        envelope = np.abs(hilbert(body))
+        core = envelope[200:-200]
+        assert core.std() / core.mean() < 0.01
+
+    def test_survives_hard_clipping(self, modem):
+        """An overdriven speaker clips the waveform; GMSK still decodes."""
+        payload = b"clipped but alive"
+        wave = modem.transmit(payload)
+        clipped = np.clip(wave, -0.15, 0.15)
+        assert modem.receive(clipped) == [payload]
+
+    def test_noise_tolerance(self, modem):
+        rng = np.random.default_rng(0)
+        payload = b"hello gmsk"
+        wave = modem.transmit(payload)
+        sig_p = np.mean(wave**2)
+        noisy = wave + rng.normal(0, np.sqrt(sig_p / 10**1.2), wave.size)
+        assert modem.receive(noisy) == [payload]
+
+    def test_heavy_noise_rejected_by_crc(self, modem):
+        rng = np.random.default_rng(1)
+        wave = modem.transmit(b"hello")
+        assert modem.receive(wave + rng.normal(0, 2.0, wave.size)) == []
+
+    def test_rate_class(self, modem):
+        # Mid-rate: above FSK, below the OFDM profile.
+        assert 2_000 <= modem.config.raw_bit_rate <= 10_000
+
+    def test_airtime_estimate(self, modem):
+        wave = modem.transmit(bytes(100))
+        est = modem.transmission_seconds(100)
+        assert wave.size / modem.config.sample_rate == pytest.approx(est, rel=0.05)
+
+    def test_payload_bounds(self, modem):
+        with pytest.raises(ValueError):
+            modem.transmit(b"")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GmskConfig(symbol_rate=7_000)  # non-integer samples per symbol
+        with pytest.raises(ValueError):
+            GmskConfig(bt=0.01)
+        with pytest.raises(ValueError):
+            GmskConfig(carrier_hz=23_000, symbol_rate=4_800)
+
+
+class TestAudioQr:
+    @pytest.fixture(scope="class")
+    def modem(self) -> AudioQrModem:
+        return AudioQrModem()
+
+    def test_roundtrip(self, modem):
+        assert modem.receive(modem.transmit(b"beacon")) == [b"beacon"]
+
+    def test_rate_is_audioqr_class(self, modem):
+        assert 50 <= modem.config.raw_bit_rate <= 200  # "about 100 bps"
+
+    def test_band_is_near_ultrasonic(self, modem):
+        from repro.dsp.spectrum import band_power_db
+
+        wave = modem.transmit(b"ultrasonic")
+        inband = band_power_db(wave, 48_000, 17_500, 19_500)
+        audible = band_power_db(wave, 48_000, 300, 4_000)
+        assert inband - audible > 30
+
+    def test_negative_snr_decodes(self, modem):
+        """The long-range trick: chirp processing gain below 0 dB SNR."""
+        rng = np.random.default_rng(2)
+        payload = b"far away"
+        wave = modem.transmit(payload)
+        sig_p = np.mean(wave**2)
+        noisy = wave + rng.normal(0, np.sqrt(sig_p * 10**0.4), wave.size)  # -4 dB
+        assert modem.receive(noisy) == [payload]
+
+    def test_crushing_noise_fails_cleanly(self, modem):
+        rng = np.random.default_rng(3)
+        wave = modem.transmit(b"far away")
+        assert modem.receive(wave + rng.normal(0, 8.0, wave.size)) == []
+
+    def test_airtime(self, modem):
+        wave = modem.transmit(bytes(20))
+        assert wave.size / 48_000 == pytest.approx(
+            modem.transmission_seconds(20), rel=0.02
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AudioQrConfig(band_low_hz=20_000, band_high_hz=19_000)
+        with pytest.raises(ValueError):
+            AudioQrConfig(symbol_duration_s=0)
+
+    def test_payload_bounds(self, modem):
+        with pytest.raises(ValueError):
+            modem.transmit(bytes(256))

@@ -1,0 +1,132 @@
+"""High-level modem: frames over audio, bursts, noise, multiple profiles."""
+
+import numpy as np
+import pytest
+
+from repro.modem.modem import Modem
+from repro.modem.profiles import get_profile, list_profiles
+
+
+@pytest.fixture(scope="module")
+def payloads(quick_modem):
+    rng = np.random.default_rng(9)
+    size = quick_modem.frame_payload_size
+    return [bytes(rng.integers(0, 256, size, dtype=np.uint8)) for _ in range(4)]
+
+
+class TestSingleFrame:
+    def test_clean_roundtrip(self, quick_modem, payloads):
+        wave = quick_modem.transmit_frame(payloads[0])
+        frames = quick_modem.receive(wave)
+        assert len(frames) == 1
+        assert frames[0].ok
+        assert frames[0].payload == payloads[0]
+
+    def test_frame_duration_consistent(self, quick_modem, payloads):
+        wave = quick_modem.transmit_frame(payloads[0])
+        assert wave.size == quick_modem.frame_samples
+
+    def test_leading_and_trailing_silence(self, quick_modem, payloads):
+        wave = quick_modem.transmit_frame(payloads[0])
+        padded = np.concatenate([np.zeros(5_000), wave, np.zeros(5_000)])
+        frames = quick_modem.receive(padded)
+        assert [f.payload for f in frames] == [payloads[0]]
+
+    def test_no_signal_no_frames(self, quick_modem):
+        rng = np.random.default_rng(0)
+        assert quick_modem.receive(rng.normal(0, 0.01, 30_000)) == []
+
+
+class TestBursts:
+    def test_burst_roundtrip(self, quick_modem, payloads):
+        wave = quick_modem.transmit_burst(payloads)
+        frames = quick_modem.receive(wave)
+        assert [f.payload for f in frames] == payloads
+
+    def test_burst_with_explicit_count(self, quick_modem, payloads):
+        wave = quick_modem.transmit_burst(payloads)
+        frames = quick_modem.receive(wave, frames_per_burst=len(payloads))
+        assert [f.payload for f in frames] == payloads
+
+    def test_burst_amortises_overhead(self, quick_modem):
+        assert quick_modem.burst_net_bit_rate(16) > quick_modem.burst_net_bit_rate(1) * 1.15
+
+    def test_two_bursts_in_one_recording(self, quick_modem, payloads):
+        gap = np.zeros(3_000)
+        wave = np.concatenate(
+            [
+                quick_modem.transmit_burst(payloads[:2]),
+                gap,
+                quick_modem.transmit_burst(payloads[2:]),
+            ]
+        )
+        frames = quick_modem.receive(wave)
+        assert [f.payload for f in frames] == payloads
+
+    def test_empty_burst_rejected(self, quick_modem):
+        with pytest.raises(ValueError):
+            quick_modem.transmit_burst([])
+
+
+class TestNoise:
+    def test_decodes_through_moderate_noise(self, quick_modem, payloads):
+        rng = np.random.default_rng(1)
+        wave = quick_modem.transmit_burst(payloads)
+        sig_p = np.mean(wave**2)
+        noise = rng.normal(0, np.sqrt(sig_p / 10**1.2), wave.size)  # 12 dB SNR
+        frames = quick_modem.receive(wave + noise)
+        assert sum(f.ok for f in frames) == len(payloads)
+
+    def test_loses_frames_in_heavy_noise(self, quick_modem, payloads):
+        rng = np.random.default_rng(2)
+        wave = quick_modem.transmit_burst(payloads)
+        sig_p = np.mean(wave**2)
+        noise = rng.normal(0, np.sqrt(sig_p * 10), wave.size)  # -10 dB SNR
+        frames = quick_modem.receive(wave + noise)
+        assert sum(f.ok for f in frames) == 0
+
+    def test_lost_frames_reported_not_dropped(self, quick_modem, payloads):
+        """A corrupted frame inside a burst appears as payload=None."""
+        rng = np.random.default_rng(3)
+        wave = quick_modem.transmit_burst(payloads)
+        # Localised noise hit on the second frame's symbols only.
+        cfg = quick_modem.profile.ofdm
+        start = (
+            len(quick_modem._preamble)
+            + quick_modem.profile.guard_samples
+            + (1 + quick_modem._n_payload_symbols) * cfg.symbol_len
+        )
+        span = quick_modem._n_payload_symbols * cfg.symbol_len
+        wave = wave.copy()
+        wave[start : start + span] += rng.normal(0, 0.6, span)
+        frames = quick_modem.receive(wave, frames_per_burst=len(payloads))
+        assert len(frames) == len(payloads)
+        assert frames[0].ok
+        assert not frames[1].ok
+
+
+class TestProfiles:
+    def test_registry_contents(self):
+        names = list_profiles()
+        assert "sonic-ofdm" in names
+        assert "sonic-ofdm-fast" in names
+        assert "audible-7k" in names
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            get_profile("fm-wunderbar")
+
+    def test_sonic_profile_is_92_subcarriers(self):
+        profile = get_profile("sonic-ofdm")
+        assert profile.ofdm.num_subcarriers == 92
+        assert profile.fec.payload_size == 100  # paper's frame size
+        assert profile.fec.conv == "v29"
+
+    def test_fast_profile_is_faster(self):
+        slow = get_profile("sonic-ofdm")
+        fast = get_profile("sonic-ofdm-fast")
+        assert fast.net_bit_rate() > slow.net_bit_rate()
+
+    def test_modem_accepts_profile_name(self):
+        modem = Modem("audible-7k")
+        assert modem.profile.name == "audible-7k"

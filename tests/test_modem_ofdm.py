@@ -1,0 +1,133 @@
+"""OFDM PHY: symbol geometry, modulation round trips, equalisation."""
+
+import numpy as np
+import pytest
+
+from repro.modem.constellation import Constellation
+from repro.modem.ofdm import OfdmConfig, OfdmPhy
+
+
+@pytest.fixture(scope="module")
+def cfg() -> OfdmConfig:
+    return OfdmConfig()
+
+
+@pytest.fixture(scope="module")
+def phy(cfg) -> OfdmPhy:
+    return OfdmPhy(cfg)
+
+
+class TestConfig:
+    def test_default_matches_paper(self, cfg):
+        # 92 subcarriers centred near SONIC's 9.2 kHz audio carrier.
+        assert cfg.num_subcarriers == 92
+        assert 8_500 < cfg.center_frequency_hz < 10_000
+        assert cfg.bandwidth_hz < 15_000  # inside the FM mono band
+
+    def test_pilot_and_data_partition(self, cfg):
+        pilots = set(cfg.pilot_positions.tolist())
+        data = set(cfg.data_positions.tolist())
+        assert pilots.isdisjoint(data)
+        assert pilots | data == set(range(cfg.num_subcarriers))
+
+    def test_raw_rate_near_10kbps_class(self, cfg):
+        # The paper's profile "reaches 10 kbps".
+        assert 8_000 < cfg.raw_bit_rate() < 20_000
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            OfdmConfig(fft_size=1000)
+        with pytest.raises(ValueError):
+            OfdmConfig(cp_len=0)
+        with pytest.raises(ValueError):
+            OfdmConfig(first_bin=500, num_subcarriers=92)  # beyond Nyquist bin
+        with pytest.raises(ValueError):
+            OfdmConfig(pilot_spacing=1)
+
+
+class TestModulation:
+    def test_waveform_length(self, phy, cfg):
+        bits = np.zeros(cfg.bits_per_symbol * 3, dtype=np.uint8)
+        wave = phy.modulate_bits(bits)
+        assert wave.size == 3 * cfg.symbol_len
+
+    def test_waveform_is_real_and_bounded(self, phy, cfg):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, cfg.bits_per_symbol * 4).astype(np.uint8)
+        wave = phy.modulate_bits(bits)
+        assert wave.dtype == np.float64
+        assert np.max(np.abs(wave)) < 1.0
+
+    def test_energy_in_band(self, phy, cfg):
+        from repro.dsp.spectrum import band_power_db
+
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, cfg.bits_per_symbol * 8).astype(np.uint8)
+        wave = phy.modulate_bits(bits)
+        lo = cfg.first_bin * cfg.sample_rate / cfg.fft_size
+        hi = (cfg.first_bin + cfg.num_subcarriers) * cfg.sample_rate / cfg.fft_size
+        inband = band_power_db(wave, cfg.sample_rate, lo, hi)
+        outband = band_power_db(wave, cfg.sample_rate, 500, 3_000)
+        assert inband - outband > 25
+
+    def test_cyclic_prefix_present(self, phy, cfg):
+        wave = phy.training_waveform()
+        assert np.allclose(wave[: cfg.cp_len], wave[-cfg.cp_len :])
+
+
+class TestDemodulation:
+    def _frame(self, phy, cfg, seed=0, n_sym=4):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, cfg.bits_per_symbol * n_sym).astype(np.uint8)
+        wave = np.concatenate([phy.training_waveform(), phy.modulate_bits(bits)])
+        return bits, wave
+
+    def test_clean_roundtrip(self, phy, cfg):
+        bits, wave = self._frame(phy, cfg)
+        result = phy.demodulate(wave, 0, 4)
+        out = phy.constellation.demap_hard(result.data_symbols.reshape(-1))
+        assert np.array_equal(out, bits)
+
+    def test_channel_gain_and_phase_equalised(self, phy, cfg):
+        bits, wave = self._frame(phy, cfg, seed=2)
+        # A static linear channel: gain + delay-free phase shaping via
+        # a mild low-pass FIR.
+        from scipy import signal
+
+        taps = signal.firwin(31, 0.45)
+        shaped = signal.lfilter(taps, 1.0, np.concatenate([wave * 0.6, np.zeros(64)]))
+        # lfilter delays by (ntaps-1)/2; demodulate from that offset.
+        result = phy.demodulate(shaped, 15, 4)
+        out = phy.constellation.demap_hard(result.data_symbols.reshape(-1))
+        assert np.array_equal(out, bits)
+
+    def test_snr_estimate_tracks_noise(self, phy, cfg):
+        bits, wave = self._frame(phy, cfg, seed=3, n_sym=6)
+        rng = np.random.default_rng(3)
+        sig_p = np.mean(wave**2)
+        est = {}
+        for snr_db in (10, 25):
+            noise = rng.normal(0, np.sqrt(sig_p / 10 ** (snr_db / 10)), wave.size)
+            est[snr_db] = phy.demodulate(wave + noise, 0, 6).snr_db
+        assert est[25] > est[10] + 8
+
+    def test_short_buffer_rejected(self, phy, cfg):
+        _, wave = self._frame(phy, cfg)
+        with pytest.raises(ValueError):
+            phy.demodulate(wave, 0, 10)
+
+    def test_timing_offset_within_cp_tolerated(self, phy, cfg):
+        bits, wave = self._frame(phy, cfg, seed=4)
+        padded = np.concatenate([np.zeros(10), wave, np.zeros(200)])
+        # Start 6 samples early: still inside the cyclic prefix.
+        result = phy.demodulate(padded, 4, 4)
+        out = phy.constellation.demap_hard(result.data_symbols.reshape(-1))
+        assert np.array_equal(out, bits)
+
+
+class TestSymbolCounting:
+    def test_n_symbols_for_bits(self, phy, cfg):
+        per = cfg.bits_per_symbol
+        assert phy.n_symbols_for_bits(1) == 1
+        assert phy.n_symbols_for_bits(per) == 1
+        assert phy.n_symbols_for_bits(per + 1) == 2

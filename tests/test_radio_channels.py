@@ -1,0 +1,88 @@
+"""End-to-end channels: FM link and acoustic hop (integration-grade)."""
+
+import numpy as np
+import pytest
+
+from repro.modem.modem import Modem
+from repro.radio.channels import AcousticChannel, AcousticConfig, FmLinkConfig, FmRadioLink
+
+
+@pytest.fixture(scope="module")
+def burst(quick_modem):
+    rng = np.random.default_rng(11)
+    size = quick_modem.frame_payload_size
+    payloads = [bytes(rng.integers(0, 256, size, dtype=np.uint8)) for _ in range(3)]
+    return payloads, quick_modem.transmit_burst(payloads)
+
+
+class TestFmRadioLink:
+    def test_high_rssi_transparent(self, quick_modem, burst):
+        payloads, wave = burst
+        link = FmRadioLink(seed=1)
+        rx = link.transmit(wave, rssi_dbm=-65.0)
+        frames = quick_modem.receive(rx, frames_per_burst=len(payloads))
+        assert [f.payload for f in frames] == payloads
+
+    def test_output_length_matches_input(self, burst):
+        _, wave = burst
+        link = FmRadioLink(seed=2)
+        assert link.transmit(wave, -70.0).size == wave.size
+
+    def test_low_rssi_destroys_frames(self, quick_modem, burst):
+        payloads, wave = burst
+        link = FmRadioLink(seed=3)
+        rx = link.transmit(wave, rssi_dbm=-93.0)
+        frames = quick_modem.receive(rx, frames_per_burst=len(payloads))
+        assert sum(f.ok for f in frames) == 0
+
+    def test_paper_rssi_bands(self, quick_modem, burst):
+        """-65..-85 clean; below -90 nothing (paper Section 4)."""
+        payloads, wave = burst
+        for rssi in (-65.0, -75.0, -85.0):
+            link = FmRadioLink(seed=4)
+            frames = quick_modem.receive(
+                link.transmit(wave, rssi), frames_per_burst=len(payloads)
+            )
+            assert sum(f.ok for f in frames) == len(payloads), rssi
+
+
+class TestAcousticChannel:
+    def test_cable_is_clean(self, quick_modem, burst):
+        payloads, wave = burst
+        channel = AcousticChannel(seed=5)
+        frames = quick_modem.receive(
+            channel.transmit(wave, 0.0), frames_per_burst=len(payloads)
+        )
+        assert [f.payload for f in frames] == payloads
+
+    def test_beyond_cliff_collapses(self, quick_modem, burst):
+        payloads, wave = burst
+        channel = AcousticChannel(seed=6)
+        frames = quick_modem.receive(
+            channel.transmit(wave, 1.6), frames_per_burst=len(payloads)
+        )
+        assert sum(f.ok for f in frames) == 0
+
+    def test_mean_snr_monotone_decreasing(self):
+        channel = AcousticChannel()
+        snrs = [channel.mean_snr_db(d) for d in (0.1, 0.5, 1.0, 1.2, 1.5)]
+        assert all(a > b for a, b in zip(snrs, snrs[1:]))
+
+    def test_cliff_kicks_in(self):
+        cfg = AcousticConfig()
+        channel = AcousticChannel(cfg)
+        before = channel.mean_snr_db(1.0) - channel.mean_snr_db(1.1)
+        after = channel.mean_snr_db(1.2) - channel.mean_snr_db(1.3)
+        assert after > before * 2
+
+    def test_output_shape_preserved(self):
+        channel = AcousticChannel(seed=7)
+        x = np.zeros(5_000)
+        assert channel.transmit(x, 0.7).size == x.size
+
+    def test_transmissions_vary(self):
+        channel = AcousticChannel(seed=8)
+        x = np.ones(2_000) * 0.1
+        a = channel.transmit(x, 0.8)
+        b = channel.transmit(x, 0.8)
+        assert not np.array_equal(a, b)  # independent draws per call

@@ -1,0 +1,80 @@
+"""DARC 76 kHz subcarrier channel."""
+
+import numpy as np
+import pytest
+
+from repro.radio.darc import DarcChannel, DarcConfig
+from repro.radio.fm import FmDemodulator, FmModulator
+from repro.radio.multiplex import FmMultiplexer
+
+
+@pytest.fixture(scope="module")
+def channel() -> DarcChannel:
+    return DarcChannel()
+
+
+class TestDarc:
+    def test_roundtrip(self, channel):
+        payload = bytes(range(200))
+        assert channel.decode(channel.encode(payload)) == [payload]
+
+    def test_rate_is_16kbps_class(self, channel):
+        payload = bytes(1_000)
+        wave = channel.encode(payload)
+        rate = len(payload) * 8 / (wave.size / channel.config.mpx_rate)
+        assert 12_000 < rate < 16_000  # goodput below the 16 kbps line rate
+
+    def test_band_centred_at_76khz(self, channel):
+        from repro.dsp.spectrum import band_power_db
+
+        wave = channel.encode(bytes(500))
+        inband = band_power_db(wave, 192_000, 68_000, 84_000)
+        rds_band = band_power_db(wave, 192_000, 55_000, 59_000)
+        assert inband - rds_band > 20
+
+    def test_polarity_insensitive(self, channel):
+        payload = b"differential coding"
+        wave = channel.encode(payload)
+        assert channel.decode(-wave) == [payload]
+
+    def test_noise_tolerance(self, channel):
+        rng = np.random.default_rng(0)
+        payload = bytes(rng.integers(0, 256, 300, dtype=np.uint8))
+        wave = channel.encode(payload)
+        sig_p = np.mean(wave**2)
+        noisy = wave + rng.normal(0, np.sqrt(sig_p / 10**1.5), wave.size)
+        assert channel.decode(noisy) == [payload]
+
+    def test_garbage_decodes_to_nothing(self, channel):
+        rng = np.random.default_rng(1)
+        assert channel.decode(rng.normal(0, 1, 30_000)) == []
+
+    def test_through_fm_chain(self, channel):
+        payload = bytes(range(128))
+        wave = channel.encode(payload)
+        mux = FmMultiplexer()
+        mono = 0.3 * np.sin(2 * np.pi * 1_000 * np.arange(12_000) / 48_000)
+        mpx = mux.compose(mono, darc=wave)
+        mod, dem = FmModulator(), FmDemodulator()
+        rng = np.random.default_rng(2)
+        iq = mod.modulate(mpx)
+        cnr_db = 30.0
+        noise = np.sqrt(10 ** (-cnr_db / 10) / 2) * (
+            rng.normal(size=iq.size) + 1j * rng.normal(size=iq.size)
+        )
+        band = mux.extract_darc_band(dem.demodulate(iq + noise))
+        assert channel.decode(band) == [payload]
+
+    def test_airtime_estimate(self, channel):
+        wave = channel.encode(bytes(100))
+        assert wave.size / 192_000 == pytest.approx(
+            channel.airtime_seconds(100), rel=0.02
+        )
+
+    def test_payload_bounds(self, channel):
+        with pytest.raises(ValueError):
+            channel.encode(b"")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DarcConfig(subcarrier_hz=95_000)

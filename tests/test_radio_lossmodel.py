@@ -1,0 +1,71 @@
+"""The fast frame-loss model and its consistency with the DSP chain."""
+
+import numpy as np
+import pytest
+
+from repro.radio.lossmodel import FrameLossModel
+
+
+@pytest.fixture(scope="module")
+def model() -> FrameLossModel:
+    return FrameLossModel(seed=0)
+
+
+class TestFrameErrorCurve:
+    def test_monotone_in_snr(self, model):
+        probs = [model.frame_error_probability(snr) for snr in (-5, 0, 3, 5, 10)]
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_asymptotes(self, model):
+        assert model.frame_error_probability(30) < 1e-6
+        assert model.frame_error_probability(-20) > 1 - 1e-6
+
+    def test_waterfall_location_matches_measured_chain(self, model):
+        # The real sonic-ofdm chain decodes cleanly at >=5 dB and fails
+        # hard at <=2 dB (measured in test_modem_modem noise tests).
+        assert model.frame_error_probability(5.5) < 0.05
+        assert model.frame_error_probability(2.0) > 0.9
+
+
+class TestFmThreshold:
+    def test_linear_region(self, model):
+        assert model.audio_snr_from_rssi(-65.0) == pytest.approx(35.0)
+        assert model.audio_snr_from_rssi(-85.0) == pytest.approx(15.0)
+
+    def test_collapse_region_steeper(self, model):
+        upper = model.audio_snr_from_rssi(-80.0) - model.audio_snr_from_rssi(-85.0)
+        lower = model.audio_snr_from_rssi(-85.0) - model.audio_snr_from_rssi(-90.0)
+        assert lower > upper * 2
+
+    def test_paper_bands(self, model):
+        """Loss-free at -65..-85; partial -85..-90; dead below -90."""
+        clean = model.frame_losses_at_rssi(300, -80.0, call=1)
+        assert clean.mean() == 0.0
+        partial = model.frame_losses_at_rssi(300, -88.5, call=2)
+        assert 0.0 < partial.mean() < 0.6
+        dead = model.frame_losses_at_rssi(300, -93.0, call=3)
+        assert dead.mean() > 0.95
+
+
+class TestDistanceDraws:
+    def test_cable_lossless(self, model):
+        losses = model.frame_losses_at_distance(500, 0.0, call=1)
+        assert losses.mean() == 0.0
+
+    def test_loss_grows_with_distance(self, model):
+        rates = []
+        for i, d in enumerate((0.2, 1.0, 1.4)):
+            total = sum(
+                model.frame_losses_at_distance(100, d, call=100 * i + k).mean()
+                for k in range(10)
+            )
+            rates.append(total / 10)
+        assert rates[0] < rates[1] < rates[2]
+        assert rates[2] > 0.9  # beyond the cliff
+
+    def test_reproducible_per_call(self, model):
+        a = model.frame_losses_at_distance(50, 1.0, call=7)
+        b = model.frame_losses_at_distance(50, 1.0, call=7)
+        assert np.array_equal(a, b)
+        c = model.frame_losses_at_distance(50, 1.0, call=8)
+        assert not np.array_equal(a, c)

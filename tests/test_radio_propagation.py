@@ -1,0 +1,70 @@
+"""RF propagation and RSSI models."""
+
+import numpy as np
+import pytest
+
+from repro.radio.propagation import (
+    PropagationModel,
+    friis_path_loss_db,
+    rssi_at_distance,
+)
+
+
+class TestFriis:
+    def test_reference_value(self):
+        # ~71.9 dB at 1 km for the 93.7 MHz FM band.
+        assert friis_path_loss_db(1_000, 93.7e6) == pytest.approx(71.9, abs=0.1)
+
+    def test_inverse_square(self):
+        # +6 dB per doubling of distance.
+        a = friis_path_loss_db(100, 93.7e6)
+        b = friis_path_loss_db(200, 93.7e6)
+        assert b - a == pytest.approx(6.02, abs=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            friis_path_loss_db(0, 93.7e6)
+        with pytest.raises(ValueError):
+            friis_path_loss_db(10, -1)
+
+
+class TestLogDistance:
+    def test_monotone_decreasing(self):
+        rssis = [rssi_at_distance(20, d) for d in (10, 100, 500, 1_000)]
+        assert all(a > b for a, b in zip(rssis, rssis[1:]))
+
+    def test_exponent_controls_slope(self):
+        free = rssi_at_distance(20, 1_000, path_loss_exponent=2.0)
+        urban = rssi_at_distance(20, 1_000, path_loss_exponent=3.5)
+        assert urban < free
+
+    def test_below_reference_clamped(self):
+        assert rssi_at_distance(20, 0.1) == rssi_at_distance(20, 1.0)
+
+
+class TestPropagationModel:
+    def test_paper_rssi_band_within_range(self):
+        """The TR508 experiment explores RSSI -65..-90 dB within 1 km."""
+        model = PropagationModel()
+        d65 = model.distance_for_rssi(-65.0)
+        d90 = model.distance_for_rssi(-90.0)
+        assert 1.0 < d65 < d90 < 2_000.0
+
+    def test_distance_rssi_inverse(self):
+        model = PropagationModel()
+        for rssi in (-65, -75, -85):
+            d = model.distance_for_rssi(rssi)
+            assert model.rssi_dbm(d) == pytest.approx(rssi, abs=1e-6)
+
+    def test_cnr_from_rssi(self):
+        model = PropagationModel(noise_floor_dbm=-95.0)
+        assert model.cnr_db(-65.0) == pytest.approx(30.0)
+        assert model.cnr_db(-90.0) == pytest.approx(5.0)
+
+    def test_shadowing_random_but_reproducible(self):
+        model = PropagationModel(shadowing_sigma_db=4.0)
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        assert model.rssi_dbm(100, rng1) == model.rssi_dbm(100, rng2)
+        rng3 = np.random.default_rng(1)
+        assert model.rssi_dbm(100, rng3) != model.rssi_dbm(100, rng1)

@@ -1,0 +1,72 @@
+"""RDS subcarrier: block coding, groups, RadioText."""
+
+import numpy as np
+import pytest
+
+from repro.radio.rds import RdsDecoder, RdsEncoder, RdsGroup, _crc10, _syndrome, _OFFSETS
+
+
+class TestBlockCoding:
+    def test_checkword_syndrome_identity(self):
+        # A valid block's syndrome equals its offset word.
+        for name in ("A", "B", "C", "D"):
+            info = 0x1234
+            block = (info << 10) | (_crc10(info) ^ _OFFSETS[name])
+            assert _syndrome(block) == _OFFSETS[name]
+
+    def test_corrupted_block_breaks_syndrome(self):
+        info = 0x4321
+        block = (info << 10) | (_crc10(info) ^ _OFFSETS["A"])
+        assert _syndrome(block ^ (1 << 13)) != _OFFSETS["A"]
+
+
+class TestGroups:
+    def test_radiotext_payload_roundtrip(self):
+        g = RdsGroup.radiotext(0xBEEF, 2, "SONI")
+        assert g.group_type == 0x2
+        assert g.radiotext_payload() == (2, "SONI")
+
+    def test_non_radiotext_returns_none(self):
+        g = RdsGroup((0x1234, 0x0000, 0, 0))
+        assert g.radiotext_payload() is None
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            RdsGroup((70_000, 0, 0, 0))
+        with pytest.raises(ValueError):
+            RdsGroup.radiotext(0, 16, "ABCD")
+
+
+class TestPhysical:
+    def test_loopback_groups(self):
+        enc, dec = RdsEncoder(), RdsDecoder()
+        groups = [RdsGroup.radiotext(0xCAFE, i, f"SG{i:02d}") for i in range(4)]
+        out = dec.decode(enc.encode(groups))
+        assert out == groups
+
+    def test_loopback_text(self):
+        enc, dec = RdsEncoder(), RdsDecoder()
+        band = enc.encode_text(0x1234, "CONNECT THE UNCONNECTED!")
+        assert dec.decode_text(band) == "CONNECT THE UNCONNECTED!"
+
+    def test_bit_rate_is_standard(self):
+        from repro.radio.rds import BIT_RATE
+
+        assert BIT_RATE == pytest.approx(57_000 / 48)
+
+    def test_noise_tolerance(self):
+        enc, dec = RdsEncoder(), RdsDecoder()
+        rng = np.random.default_rng(0)
+        band = enc.encode_text(0x77, "WEATHER ALERT KARACHI")
+        sig_p = np.mean(band**2)
+        noisy = band + rng.normal(0, np.sqrt(sig_p / 10**1.5), band.size)
+        assert dec.decode_text(noisy) == "WEATHER ALERT KARACHI"
+
+    def test_garbage_decodes_to_nothing(self):
+        dec = RdsDecoder()
+        rng = np.random.default_rng(1)
+        assert dec.decode(rng.normal(0, 1, 50_000)) == []
+
+    def test_short_input(self):
+        dec = RdsDecoder()
+        assert dec.decode(np.zeros(100)) == []

@@ -1,0 +1,78 @@
+"""SVG chart generation."""
+
+import numpy as np
+import pytest
+
+from repro.report.plots import box_plot, cdf_chart, line_chart
+from repro.report.svg import SvgCanvas
+
+
+class TestSvgCanvas:
+    def test_valid_document(self):
+        canvas = SvgCanvas(200, 100)
+        canvas.line(0, 0, 100, 50)
+        canvas.rect(10, 10, 30, 20, fill="#eee")
+        canvas.circle(50, 50, 5)
+        canvas.text(20, 20, "hello <world> & 'more'")
+        doc = canvas.to_string()
+        assert doc.startswith("<svg")
+        assert doc.rstrip().endswith("</svg>")
+        assert "&lt;world&gt;" in doc
+        assert "&amp;" in doc
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(100, 100)
+        canvas.save(tmp_path / "x.svg")
+        assert (tmp_path / "x.svg").read_text().startswith("<svg")
+
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 100)
+
+
+class TestCharts:
+    def test_line_chart(self, tmp_path):
+        x = np.linspace(0, 48, 100)
+        series = {
+            "10kbps": (x, 10 + 5 * np.sin(x / 4)),
+            "20kbps": (x, 5 + 3 * np.sin(x / 4)),
+        }
+        path = tmp_path / "line.svg"
+        line_chart(series, path, title="backlog", x_label="hours", y_label="MB")
+        doc = path.read_text()
+        assert doc.count("<polyline") == 2
+        assert "10kbps" in doc
+
+    def test_cdf_chart(self, tmp_path):
+        rng = np.random.default_rng(0)
+        path = tmp_path / "cdf.svg"
+        cdf_chart(
+            {"Q10": rng.lognormal(12, 0.3, 50), "Q90": rng.lognormal(13, 0.3, 50)},
+            path,
+            title="sizes",
+            x_label="bytes",
+        )
+        assert path.read_text().count("<polyline") == 2
+
+    def test_box_plot(self, tmp_path):
+        rng = np.random.default_rng(1)
+        groups = {d: rng.uniform(0, 20, 10) for d in ("10cm", "50cm", "1m")}
+        path = tmp_path / "box.svg"
+        box_plot(groups, path, title="loss", y_label="%")
+        doc = path.read_text()
+        assert doc.count("<rect") >= 4  # frame + three boxes
+        assert "1m" in doc
+
+    def test_empty_inputs_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            line_chart({}, tmp_path / "x.svg")
+        with pytest.raises(ValueError):
+            cdf_chart({}, tmp_path / "x.svg")
+        with pytest.raises(ValueError):
+            box_plot({}, tmp_path / "x.svg")
+
+    def test_constant_series_no_crash(self, tmp_path):
+        line_chart(
+            {"flat": (np.arange(5), np.zeros(5))}, tmp_path / "flat.svg"
+        )
+        assert (tmp_path / "flat.svg").exists()

@@ -1,0 +1,73 @@
+"""Simulation clock and geographic primitives."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.geometry import Location, distance_km
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        assert clock.now == 10.0
+        assert clock.now_hours == pytest.approx(10 / 3600)
+
+    def test_events_fire_in_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5.0, lambda now: fired.append(("b", now)))
+        clock.schedule(2.0, lambda now: fired.append(("a", now)))
+        clock.advance_to(10.0)
+        assert fired == [("a", 2.0), ("b", 5.0)]
+
+    def test_events_beyond_horizon_wait(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5.0, lambda now: fired.append(now))
+        clock.advance_to(4.0)
+        assert fired == []
+        clock.advance_to(6.0)
+        assert fired == [5.0]
+
+    def test_recurring(self):
+        clock = SimClock()
+        ticks = []
+        clock.schedule_every(10.0, lambda now: ticks.append(now))
+        clock.advance_to(35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_same_time_fifo(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(1.0, lambda now: fired.append("first"))
+        clock.schedule(1.0, lambda now: fired.append("second"))
+        clock.advance_to(2.0)
+        assert fired == ["first", "second"]
+
+    def test_no_time_travel(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+        with pytest.raises(ValueError):
+            clock.schedule(-1.0, lambda now: None)
+
+
+class TestGeometry:
+    def test_lahore_islamabad(self):
+        assert 260 < distance_km(Location(31.5204, 74.3587), Location(33.6844, 73.0479)) < 280
+
+    def test_zero_distance(self):
+        a = Location(31.5, 74.3)
+        assert distance_km(a, a) == 0.0
+
+    def test_symmetry(self):
+        a, b = Location(24.86, 67.0), Location(31.5, 74.3)
+        assert distance_km(a, b) == pytest.approx(distance_km(b, a))
+
+    def test_coordinate_validation(self):
+        with pytest.raises(ValueError):
+            Location(91.0, 0.0)
+        with pytest.raises(ValueError):
+            Location(0.0, 181.0)

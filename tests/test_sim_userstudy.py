@@ -1,0 +1,111 @@
+"""Synthetic user study (Figure 5 engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import simulate_column_loss
+from repro.sim.userstudy import RatingRecord, StudyConfig, UserStudy
+
+
+@pytest.fixture(scope="module")
+def study() -> UserStudy:
+    return UserStudy(StudyConfig(n_raters=40, screenshots_per_rater=10, seed=3))
+
+
+@pytest.fixture(scope="module")
+def screenshots(study, page_image):
+    shots = []
+    for loss in (0.05, 0.20):
+        sim = simulate_column_loss(page_image, loss, seed=1)
+        shots.extend(study.screenshot_stats(0, page_image, sim.missing, loss))
+    return shots
+
+
+class TestDamageMeasurement:
+    def test_identical_images_zero_damage(self, study, page_image):
+        content, text = study.measure_damage(page_image, page_image)
+        assert content == 0.0
+        assert text == 0.0
+
+    def test_damage_grows_with_loss(self, study, page_image):
+        damages = []
+        for loss in (0.05, 0.20, 0.50):
+            sim = simulate_column_loss(page_image, loss, seed=2)
+            content, _ = study.measure_damage(page_image, sim.damaged)
+            damages.append(content)
+        assert damages[0] < damages[1] < damages[2]
+
+    def test_interpolation_reduces_damage(self, screenshots):
+        by_key = {(s.loss_rate, s.interpolated): s for s in screenshots}
+        for loss in (0.05, 0.20):
+            assert (
+                by_key[(loss, True)].content_damage
+                < by_key[(loss, False)].content_damage
+            )
+
+    def test_shape_mismatch_rejected(self, study, page_image):
+        with pytest.raises(ValueError):
+            study.measure_damage(page_image, page_image[:-1])
+
+
+class TestRatingModel:
+    def test_mean_rating_monotone(self, study):
+        r = [study.mean_rating(d, d, "content") for d in (0.0, 0.1, 0.3, 0.6)]
+        assert all(a > b for a, b in zip(r, r[1:]))
+        assert r[0] == pytest.approx(10.0)
+
+    def test_text_question_harsher_at_same_damage(self, study):
+        # At equal damage the text question uses the steeper curve.
+        assert study.mean_rating(0.3, 0.3, "text") <= study.mean_rating(
+            0.3, 0.3, "content"
+        )
+        assert 0 <= study.mean_rating(0.3, 0.3, "text") <= 10
+
+    def test_content_rating_sensitive_to_text_damage(self, study):
+        clean_text = study.mean_rating(0.1, 0.0, "content")
+        smeared_text = study.mean_rating(0.1, 0.4, "content")
+        assert smeared_text < clean_text
+
+    def test_ratings_clipped_to_likert(self, study, screenshots):
+        records = study.simulate_ratings(screenshots)
+        assert records
+        assert all(0 <= r.rating <= 10 for r in records)
+
+    def test_rater_workload(self, study, screenshots):
+        records = study.simulate_ratings(screenshots)
+        by_rater = {}
+        for r in records:
+            by_rater.setdefault(r.rater, set()).add(
+                (r.page_index, r.loss_rate, r.interpolated)
+            )
+        per_rater = {len(v) for v in by_rater.values()}
+        # Each rater saw at most screenshots_per_rater screenshots.
+        assert max(per_rater) <= study.config.screenshots_per_rater
+
+    def test_deterministic(self, study, screenshots):
+        a = study.simulate_ratings(screenshots)
+        b = study.simulate_ratings(screenshots)
+        assert a == b
+
+    def test_empty_input(self, study):
+        assert study.simulate_ratings([]) == []
+
+
+class TestAggregation:
+    def test_median_per_page_filters_cell(self, study, screenshots):
+        records = study.simulate_ratings(screenshots)
+        medians = UserStudy.median_per_page(records, 0.05, True, "content")
+        assert medians
+        assert all(0 <= m <= 10 for m in medians)
+
+    def test_figure5_shape(self, study, screenshots):
+        """Interpolation lifts median content ratings (the paper's claim)."""
+        records = study.simulate_ratings(screenshots)
+        for loss in (0.05, 0.20):
+            with_i = np.median(
+                UserStudy.median_per_page(records, loss, True, "content")
+            )
+            without = np.median(
+                UserStudy.median_per_page(records, loss, False, "content")
+            )
+            assert with_i >= without + 1.0

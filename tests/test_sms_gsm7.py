@@ -1,0 +1,54 @@
+"""GSM 7-bit alphabet and septet packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sms.gsm7 import gsm7_decode, gsm7_encode, is_gsm7_compatible, septet_length
+
+# Characters from the basic GSM alphabet that survive a roundtrip
+# unambiguously (excluding '@' which doubles as padding).
+_GSM_SAFE = (
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+    " !\"#%&'()*+,-./:;<=>?"
+)
+
+
+class TestAlphabet:
+    def test_ascii_compatible(self):
+        assert is_gsm7_compatible("GET cnn.com/index.html LOC 31.52,74.35")
+
+    def test_extension_chars(self):
+        assert is_gsm7_compatible("{[~]}|")
+        assert septet_length("{") == 2  # escape + code
+
+    def test_incompatible(self):
+        assert not is_gsm7_compatible("emoji \U0001F600")
+
+    def test_encode_rejects_incompatible(self):
+        with pytest.raises(ValueError):
+            gsm7_encode("中文")
+
+
+class TestPacking:
+    def test_known_vector(self):
+        # "hello" is the classic GSM 7-bit packing example.
+        assert gsm7_encode("hello").hex() == "e8329bfd06"
+
+    def test_packing_density(self):
+        # Eight 7-bit chars pack into 7 octets.
+        assert len(gsm7_encode("AAAAAAAA")) == 7
+
+    @given(st.text(alphabet=_GSM_SAFE, min_size=1, max_size=160))
+    def test_roundtrip(self, text):
+        assert gsm7_decode(gsm7_encode(text), n_septets=septet_length(text)) == text
+
+    def test_roundtrip_with_extension(self):
+        text = "price {100} [PKR]"
+        assert gsm7_decode(gsm7_encode(text), n_septets=septet_length(text)) == text
+
+    def test_decode_without_count_strips_padding(self):
+        assert gsm7_decode(gsm7_encode("hello")) == "hello"
+
+    def test_empty(self):
+        assert gsm7_encode("") == b""
+        assert gsm7_decode(b"") == ""

@@ -1,0 +1,82 @@
+"""SMS messages, segmentation, and the store-and-forward gateway."""
+
+import pytest
+
+from repro.sms.gateway import GatewayConfig, SmsGateway
+from repro.sms.message import MULTIPART_LIMIT, SEGMENT_LIMIT, SmsMessage, segment_text
+
+
+class TestSegmentation:
+    def test_single_segment(self):
+        assert segment_text("x" * 160) == ["x" * 160]
+
+    def test_two_segments(self):
+        segments = segment_text("x" * 161)
+        assert len(segments) == 2
+        assert all(len(s) <= MULTIPART_LIMIT for s in segments)
+        assert "".join(segments) == "x" * 161
+
+    def test_extension_chars_cost_double(self):
+        # 80 braces = 160 septets: fits; 81 doesn't.
+        assert len(segment_text("{" * 80)) == 1
+        assert len(segment_text("{" * 81)) == 2
+
+    def test_non_gsm_rejected(self):
+        with pytest.raises(ValueError):
+            segment_text("中")
+
+
+class TestMessage:
+    def test_segment_count_is_billing_unit(self):
+        msg = SmsMessage("+92300", "+92301", "x" * 306)
+        assert msg.segment_count == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmsMessage("", "+92301", "hi")
+        with pytest.raises(ValueError):
+            SmsMessage("+92300", "+92301", "中")
+
+
+class TestGateway:
+    def test_delivery_after_latency(self):
+        gw = SmsGateway(GatewayConfig(loss_probability=0.0), seed=1)
+        msg = SmsMessage("+1", "+2", "hello")
+        assert gw.submit(msg, now=0.0)
+        assert gw.deliver_due(0.1) == []  # too early
+        delivered = gw.deliver_due(120.0)
+        assert delivered == [msg]
+        assert gw.pending_count() == 0
+
+    def test_handler_dispatch(self):
+        gw = SmsGateway(GatewayConfig(loss_probability=0.0), seed=2)
+        inbox = []
+        gw.register("+2", lambda m, now: inbox.append((m.text, now)))
+        gw.submit(SmsMessage("+1", "+2", "ping"), 0.0)
+        gw.submit(SmsMessage("+1", "+3", "other"), 0.0)
+        gw.deliver_due(120.0)
+        assert inbox == [("ping", 120.0)]
+
+    def test_loss(self):
+        gw = SmsGateway(GatewayConfig(loss_probability=1.0), seed=3)
+        assert not gw.submit(SmsMessage("+1", "+2", "x"), 0.0)
+        assert gw.lost_count == 1
+        assert gw.pending_count() == 0
+
+    def test_multisegment_penalty(self):
+        cfg = GatewayConfig(loss_probability=0.0, latency_sigma=1e-9,
+                            median_latency_s=4.0, per_segment_penalty_s=10.0)
+        gw = SmsGateway(cfg, seed=4)
+        gw.submit(SmsMessage("+1", "+2", "short"), 0.0)
+        gw.submit(SmsMessage("+1", "+2", "y" * 200), 0.0)
+        # Only the single-segment message arrives by t=8.
+        assert len(gw.deliver_due(8.0)) == 1
+        assert len(gw.deliver_due(30.0)) == 1
+
+    def test_counters(self):
+        gw = SmsGateway(GatewayConfig(loss_probability=0.0), seed=5)
+        for i in range(5):
+            gw.submit(SmsMessage("+1", "+2", f"m{i}"), 0.0)
+        gw.deliver_due(600.0)
+        assert gw.submitted_count == 5
+        assert gw.delivered_count == 5

@@ -1,0 +1,62 @@
+"""SONIC's SMS request/response protocol."""
+
+import pytest
+
+from repro.sms.message import SEGMENT_LIMIT, segment_text
+from repro.sms.protocol import (
+    PageRequest,
+    RequestAck,
+    RequestError,
+    SearchRequest,
+    parse_downlink,
+    parse_uplink,
+)
+
+
+class TestUplink:
+    def test_page_request_roundtrip(self):
+        req = PageRequest("cnn.com/index.html", 31.5204, 74.3587)
+        parsed = parse_uplink(req.to_text())
+        assert isinstance(parsed, PageRequest)
+        assert parsed.url == "cnn.com/index.html"
+        assert parsed.lat == pytest.approx(31.5204, abs=1e-4)
+        assert parsed.lon == pytest.approx(74.3587, abs=1e-4)
+
+    def test_search_request_roundtrip(self):
+        req = SearchRequest("cricket score lahore", 31.5, 74.3)
+        parsed = parse_uplink(req.to_text())
+        assert isinstance(parsed, SearchRequest)
+        assert parsed.query == "cricket score lahore"
+
+    def test_request_fits_one_sms_segment(self):
+        """Requests must not cost the user more than one SMS."""
+        req = PageRequest("a" * 100 + ".pk/page", 31.5204, 74.3587)
+        assert len(segment_text(req.to_text())) == 1
+
+    def test_malformed_rejected(self):
+        for text in ("GET", "FETCH x LOC 1,2", "GET  LOC 1,2", "", "GET url"):
+            with pytest.raises(ValueError):
+                parse_uplink(text)
+
+    def test_url_with_space_rejected(self):
+        with pytest.raises(ValueError):
+            parse_uplink("GET two words LOC 1.0,2.0")
+
+
+class TestDownlink:
+    def test_ack_roundtrip(self):
+        ack = RequestAck("dawn.com/", 372.0)
+        parsed = parse_downlink(ack.to_text())
+        assert isinstance(parsed, RequestAck)
+        assert parsed.url == "dawn.com/"
+        assert parsed.eta_seconds == 372.0
+
+    def test_error_roundtrip(self):
+        err = RequestError("bank.pk/login", "unsupported-auth page")
+        parsed = parse_downlink(err.to_text())
+        assert isinstance(parsed, RequestError)
+        assert parsed.reason == "unsupported-auth page"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_downlink("HELLO there")

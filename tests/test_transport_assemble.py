@@ -1,0 +1,94 @@
+"""Receiver-side assembly and recovery metrics."""
+
+import numpy as np
+import pytest
+
+from repro.transport.assemble import ColumnAssembler
+from repro.transport.framing import Frame, FrameHeader, FrameType
+from repro.transport.partition import ColumnTransport
+from repro.util.rng import derive_rng
+
+
+class TestAssembler:
+    def test_complete_reception(self, page_image):
+        t = ColumnTransport("raw")
+        frames = t.partition(page_image)
+        asm = ColumnAssembler(page_image.shape[:2])
+        asm.add_frames(frames)
+        assert asm.complete
+        assert asm.coverage == 1.0
+        result = asm.result()
+        assert result.frame_loss_rate == 0.0
+        assert result.pixel_loss_rate == 0.0
+        assert np.array_equal(result.image, page_image)
+
+    def test_partial_reception(self, page_image):
+        t = ColumnTransport("raw")
+        frames = t.partition(page_image)
+        rng = derive_rng(1, "drop")
+        kept = [f for f in frames if rng.random() > 0.1]
+        asm = ColumnAssembler(page_image.shape[:2])
+        asm.add_frames(kept)
+        assert not asm.complete
+        result = asm.result()
+        assert result.frame_loss_rate == pytest.approx(
+            1 - len(kept) / len(frames), abs=1e-9
+        )
+        assert 0.05 < result.pixel_loss_rate < 0.2
+
+    def test_interpolation_improves(self, page_image):
+        from repro.imaging.metrics import psnr_db
+
+        t = ColumnTransport("raw")
+        frames = t.partition(page_image)
+        rng = derive_rng(2, "drop")
+        kept = [f for f in frames if rng.random() > 0.1]
+        asm = ColumnAssembler(page_image.shape[:2])
+        asm.add_frames(kept)
+        result = asm.result()
+        assert psnr_db(page_image, result.interpolated()) > psnr_db(
+            page_image, result.image
+        )
+
+    def test_gap_filling_across_cycles(self, page_image):
+        """Frames from a second carousel cycle fill earlier gaps."""
+        t = ColumnTransport("raw")
+        frames = t.partition(page_image)
+        half = len(frames) // 2
+        asm = ColumnAssembler(page_image.shape[:2])
+        asm.add_frames(frames[:half])
+        first_loss = asm.result().pixel_loss_rate
+        asm.add_frames(frames[half:])
+        assert asm.complete
+        assert asm.result().pixel_loss_rate == 0.0
+        assert first_loss > 0.0
+
+    def test_duplicates_idempotent(self, page_image):
+        t = ColumnTransport("raw")
+        frames = t.partition(page_image)
+        asm = ColumnAssembler(page_image.shape[:2])
+        asm.add_frames(frames)
+        asm.add_frames(frames[:10])
+        assert asm.complete
+
+    def test_rejects_wrong_frame_type(self, page_image):
+        asm = ColumnAssembler(page_image.shape[:2])
+        bad = Frame(FrameHeader(FrameType.BUNDLE_BYTES, 0, 0, 1), b"x")
+        with pytest.raises(ValueError):
+            asm.add_frame(bad)
+
+    def test_inconsistent_totals_rejected(self, page_image):
+        asm = ColumnAssembler(page_image.shape[:2])
+        a = Frame(FrameHeader(FrameType.COLUMN_PIXELS, 0, 0, 10, 0, 0, 5), bytes(15))
+        b = Frame(FrameHeader(FrameType.COLUMN_PIXELS, 0, 1, 11, 0, 5, 5), bytes(15))
+        asm.add_frame(a)
+        with pytest.raises(ValueError):
+            asm.add_frame(b)
+
+    def test_empty_assembler(self, page_image):
+        asm = ColumnAssembler(page_image.shape[:2])
+        assert not asm.complete
+        assert asm.coverage == 0.0
+        result = asm.result()
+        assert result.pixel_loss_rate == 1.0
+        assert result.frame_loss_rate == 1.0

@@ -1,0 +1,68 @@
+"""Page bundles and chunked byte transport."""
+
+import numpy as np
+import pytest
+
+from repro.transport.bundle import BundleTransport, PageBundle
+from repro.transport.framing import PAYLOAD_SIZE
+from repro.web.clickmap import ClickMap, ClickRegion
+
+
+@pytest.fixture(scope="module")
+def bundle(page_image) -> PageBundle:
+    cm = ClickMap([ClickRegion(10, 20, 100, 30, "test.pk/a")])
+    return PageBundle("test.pk/", page_image, cm, expiry_hours=12.0, quality=30)
+
+
+class TestPageBundle:
+    def test_roundtrip(self, bundle, page_image):
+        restored = PageBundle.from_bytes(bundle.to_bytes())
+        assert restored.url == "test.pk/"
+        assert restored.expiry_hours == 12.0
+        assert restored.quality == 30
+        assert restored.image.shape == page_image.shape
+        assert restored.clickmap.regions == bundle.clickmap.regions
+
+    def test_image_lossy_but_close(self, bundle, page_image):
+        from repro.imaging.metrics import psnr_db
+
+        restored = PageBundle.from_bytes(bundle.to_bytes())
+        assert psnr_db(page_image, restored.image) > 20
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            PageBundle.from_bytes(b"XXXX" + bytes(40))
+
+
+class TestBundleTransport:
+    def test_chunk_count(self):
+        bt = BundleTransport()
+        assert bt.frames_needed(1) == 1
+        assert bt.frames_needed(PAYLOAD_SIZE) == 1
+        assert bt.frames_needed(PAYLOAD_SIZE + 1) == 2
+
+    def test_reassemble_complete(self, bundle):
+        bt = BundleTransport()
+        data = bundle.to_bytes()
+        frames = bt.chunk(data, page_id=9)
+        assert bt.reassemble(frames) == data
+
+    def test_reassemble_out_of_order_and_duplicates(self, bundle):
+        bt = BundleTransport()
+        data = bundle.to_bytes()
+        frames = bt.chunk(data)
+        shuffled = frames[::-1] + frames[:3]
+        assert bt.reassemble(shuffled) == data
+
+    def test_incomplete_returns_none(self, bundle):
+        bt = BundleTransport()
+        frames = bt.chunk(bundle.to_bytes())
+        assert bt.reassemble(frames[:-1]) is None
+        assert bt.reassemble([]) is None
+
+    def test_version_tagging(self):
+        bt = BundleTransport()
+        frames_v1 = bt.chunk(bytes(200), page_id=1, version=1)
+        frames_v2 = bt.chunk(bytes(200), page_id=1, version=2)
+        assert all(f.header.col == 1 for f in frames_v1)
+        assert all(f.header.col == 2 for f in frames_v2)

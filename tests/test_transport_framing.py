@@ -1,0 +1,62 @@
+"""100-byte frame format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.transport.framing import (
+    FRAME_SIZE,
+    Frame,
+    FrameHeader,
+    FrameType,
+    HEADER_SIZE,
+    PAYLOAD_SIZE,
+)
+
+
+class TestFormat:
+    def test_paper_frame_size(self):
+        assert FRAME_SIZE == 100  # fixed by Section 3.3
+
+    def test_serialised_size_exact(self):
+        frame = Frame(
+            FrameHeader(FrameType.COLUMN_PIXELS, 1, 0, 10, 5, 0, 27), bytes(81)
+        )
+        assert len(frame.to_bytes()) == FRAME_SIZE
+
+    def test_short_payload_padded(self):
+        frame = Frame(FrameHeader(FrameType.BUNDLE_BYTES, 1, 0, 1), b"ab")
+        raw = frame.to_bytes()
+        assert len(raw) == FRAME_SIZE
+        assert raw[HEADER_SIZE : HEADER_SIZE + 2] == b"ab"
+
+    def test_oversized_payload_rejected(self):
+        frame = Frame(
+            FrameHeader(FrameType.BUNDLE_BYTES, 1, 0, 1), bytes(PAYLOAD_SIZE + 1)
+        )
+        with pytest.raises(ValueError):
+            frame.to_bytes()
+
+    @given(
+        page_id=st.integers(0, 65_535),
+        total=st.integers(1, 100_000),
+        col=st.integers(0, 2_000),
+        payload=st.binary(min_size=0, max_size=PAYLOAD_SIZE),
+    )
+    def test_roundtrip(self, page_id, total, col, payload):
+        header = FrameHeader(
+            FrameType.COLUMN_PIXELS, page_id, total - 1, total, col, 7, 27
+        )
+        frame = Frame(header, payload)
+        restored = Frame.from_bytes(frame.to_bytes())
+        assert restored.header == header
+        assert restored.payload[: len(payload)] == payload
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            Frame.from_bytes(bytes(99))
+
+    def test_header_validation(self):
+        with pytest.raises(ValueError):
+            FrameHeader(FrameType.BUNDLE_BYTES, 70_000, 0, 1)
+        with pytest.raises(ValueError):
+            FrameHeader(FrameType.BUNDLE_BYTES, 0, 5, 5)  # seq >= total

@@ -1,0 +1,86 @@
+"""Column partitioning and reassembly (both raw and RLE modes)."""
+
+import numpy as np
+import pytest
+
+from repro.transport.framing import FRAME_SIZE
+from repro.transport.partition import ColumnTransport
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module", params=["raw", "rle"])
+def transport(request) -> ColumnTransport:
+    return ColumnTransport(request.param)
+
+
+class TestPartition:
+    def test_full_reassembly_exact(self, transport, page_image):
+        frames = transport.partition(page_image, page_id=3)
+        image, missing = transport.reassemble(frames, page_image.shape[:2])
+        assert not missing.any()
+        assert np.array_equal(image, page_image)
+
+    def test_sequence_numbers_contiguous(self, transport, page_image):
+        frames = transport.partition(page_image)
+        seqs = [f.header.seq for f in frames]
+        assert seqs == list(range(len(frames)))
+        assert all(f.header.total == len(frames) for f in frames)
+
+    def test_serialised_frames_are_100_bytes(self, transport, page_image):
+        frames = transport.partition(page_image)
+        for f in frames[:20]:
+            assert len(f.to_bytes()) == FRAME_SIZE
+
+    def test_loss_maps_to_pixels(self, transport, page_image):
+        frames = transport.partition(page_image)
+        rng = derive_rng(0, "drop")
+        kept = [f for f in frames if rng.random() > 0.2]
+        image, missing = transport.reassemble(kept, page_image.shape[:2])
+        pixel_loss = missing.mean()
+        assert 0.1 < pixel_loss < 0.35
+        # Received pixels must be bit-exact (lossless transport).
+        assert np.array_equal(image[~missing], page_image[~missing])
+
+    def test_single_column_footprint(self, transport, page_image):
+        """Every frame covers exactly one 1-pixel-wide column segment."""
+        frames = transport.partition(page_image)
+        h, w = page_image.shape[:2]
+        for f in frames[:50]:
+            assert 0 <= f.header.col < w
+            assert f.header.row0 + f.header.n_pixels <= h
+
+    def test_invalid_image_rejected(self, transport):
+        with pytest.raises(ValueError):
+            transport.partition(np.zeros((4, 4), dtype=np.uint8))
+
+
+class TestRleSpecifics:
+    def test_rle_fewer_frames_on_rendered_pages(self, page_image):
+        raw_n = len(ColumnTransport("raw").partition(page_image))
+        rle_n = len(ColumnTransport("rle").partition(page_image))
+        assert rle_n < raw_n / 2
+
+    def test_rle_regions_need_image(self, page_image):
+        t = ColumnTransport("rle")
+        with pytest.raises(ValueError):
+            t.frame_regions(page_image.shape[:2])
+        regions = t.frame_regions(page_image.shape[:2], page_image)
+        assert len(regions) == len(t.partition(page_image))
+
+
+class TestRawSpecifics:
+    def test_raw_regions_pure_geometry(self):
+        t = ColumnTransport("raw")
+        regions = t.frame_regions((100, 4))
+        per_col = -(-100 // 27)
+        assert len(regions) == 4 * per_col
+        # Regions tile each column without gaps.
+        cover = {}
+        for col, row0, n in regions:
+            cover.setdefault(col, 0)
+            cover[col] += n
+        assert all(v == 100 for v in cover.values())
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            ColumnTransport("zip")

@@ -1,0 +1,76 @@
+"""Unequal error protection scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.transport.partition import ColumnTransport
+from repro.transport.uep import (
+    UepPolicy,
+    importance_weighted_damage,
+    important_rows,
+    schedule_with_uep,
+)
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def framed_page(page_image):
+    transport = ColumnTransport("raw")
+    return page_image, transport, transport.partition(page_image, page_id=1)
+
+
+class TestImportance:
+    def test_fold_always_important(self, page_image):
+        rows = important_rows(page_image, UepPolicy(fold_rows=100))
+        assert rows[:100].all()
+
+    def test_text_rows_detected(self, page_image):
+        policy = UepPolicy(fold_rows=0)
+        rows = important_rows(page_image, policy)
+        # A rendered page has both text rows and whitespace rows.
+        assert rows.any()
+        assert not rows.all()
+
+    def test_blank_page_only_fold(self):
+        blank = np.full((200, 50, 3), 255, dtype=np.uint8)
+        rows = important_rows(blank, UepPolicy(fold_rows=40))
+        assert rows[:40].all()
+        assert not rows[40:].any()
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            UepPolicy(repeats=0)
+
+
+class TestSchedule:
+    def test_repeats_only_important(self, framed_page):
+        image, _, frames = framed_page
+        policy = UepPolicy(fold_rows=50, text_row_fraction=1.1, repeats=2)
+        schedule = schedule_with_uep(frames, image, policy)
+        extra = len(schedule) - len(frames)
+        important_frames = [f for f in frames if f.header.row0 < 50]
+        assert extra == len(important_frames)
+        # Original pass comes first, duplicates after.
+        assert schedule[: len(frames)] == frames
+
+    def test_repeats_one_is_identity(self, framed_page):
+        image, _, frames = framed_page
+        assert schedule_with_uep(frames, image, UepPolicy(repeats=1)) == frames
+
+    def test_uep_reduces_important_damage(self, framed_page):
+        image, transport, frames = framed_page
+        policy = UepPolicy(fold_rows=200, text_row_fraction=1.1, repeats=3)
+        schedule = schedule_with_uep(frames, image, policy)
+        rng = derive_rng(3, "uep-test")
+        kept = [f for f in schedule if rng.random() >= 0.3]
+        _, missing = transport.reassemble(kept, image.shape[:2])
+        fold_damage = importance_weighted_damage(image, missing, policy)
+        overall = float(missing.mean())
+        assert fold_damage < overall
+
+    def test_damage_metric_bounds(self, framed_page):
+        image, _, _ = framed_page
+        none = np.zeros(image.shape[:2], dtype=bool)
+        all_lost = np.ones(image.shape[:2], dtype=bool)
+        assert importance_weighted_damage(image, none) == 0.0
+        assert importance_weighted_damage(image, all_lost) == 1.0

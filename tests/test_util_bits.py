@@ -1,0 +1,65 @@
+"""Bit/byte conversion invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import bits_to_bytes, bits_to_int, bytes_to_bits, int_to_bits, pad_bits
+
+
+class TestBytesBits:
+    def test_single_byte_msb_first(self):
+        assert bytes_to_bits(b"\x80").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bytes_to_bits(b"\x01").tolist() == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_empty(self):
+        assert bytes_to_bits(b"").size == 0
+        assert bits_to_bytes(np.zeros(0, dtype=np.uint8)) == b""
+
+    @given(st.binary(min_size=0, max_size=200))
+    def test_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_non_multiple_of_8_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.ones(7, dtype=np.uint8))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.ones((2, 8), dtype=np.uint8))
+
+
+class TestIntBits:
+    @given(st.integers(min_value=0, max_value=2**24 - 1))
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 24)) == value
+
+    def test_msb_first(self):
+        assert int_to_bits(5, 4).tolist() == [0, 1, 0, 1]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(0, 0)
+
+
+class TestPadBits:
+    def test_already_aligned(self):
+        bits = np.ones(8, dtype=np.uint8)
+        assert pad_bits(bits, 8).size == 8
+
+    def test_pads_up(self):
+        out = pad_bits(np.ones(5, dtype=np.uint8), 8)
+        assert out.size == 8
+        assert out[5:].tolist() == [0, 0, 0]
+
+    def test_pad_value(self):
+        out = pad_bits(np.zeros(3, dtype=np.uint8), 4, value=1)
+        assert out.tolist() == [0, 0, 0, 1]

@@ -1,0 +1,80 @@
+"""Click maps: hit testing, scaling, wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.web.clickmap import ClickMap, ClickRegion
+
+
+def region_strategy():
+    return st.builds(
+        ClickRegion,
+        x=st.integers(0, 2000),
+        y=st.integers(0, 20_000),
+        width=st.integers(1, 1000),
+        height=st.integers(1, 500),
+        href=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=60,
+        ),
+    )
+
+
+class TestHitTest:
+    def test_inside_outside(self):
+        cm = ClickMap([ClickRegion(10, 10, 100, 20, "a.pk/x")])
+        assert cm.hit_test(10, 10) == "a.pk/x"
+        assert cm.hit_test(109, 29) == "a.pk/x"
+        assert cm.hit_test(110, 10) is None
+        assert cm.hit_test(9, 10) is None
+
+    def test_topmost_region_wins(self):
+        cm = ClickMap(
+            [ClickRegion(0, 0, 50, 50, "below"), ClickRegion(10, 10, 10, 10, "above")]
+        )
+        assert cm.hit_test(12, 12) == "above"
+        assert cm.hit_test(2, 2) == "below"
+
+    def test_empty_map(self):
+        assert ClickMap().hit_test(5, 5) is None
+
+
+class TestScaling:
+    def test_scale_factor_applied(self):
+        """The paper scales click maps by screen_width / 1080."""
+        cm = ClickMap([ClickRegion(108, 216, 540, 108, "x")])
+        scaled = cm.scaled(360 / 1080)
+        r = scaled.regions[0]
+        assert (r.x, r.y, r.width, r.height) == (36, 72, 180, 36)
+
+    def test_scaled_hit_test_consistent(self):
+        cm = ClickMap([ClickRegion(100, 100, 300, 60, "target")])
+        factor = 0.5
+        scaled = cm.scaled(factor)
+        assert scaled.hit_test(int(200 * factor), int(120 * factor)) == "target"
+
+    def test_minimum_size_one(self):
+        cm = ClickMap([ClickRegion(0, 0, 2, 2, "x")]).scaled(0.1)
+        assert cm.regions[0].width >= 1
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ClickMap().scaled(0)
+
+
+class TestWireFormat:
+    @given(st.lists(region_strategy(), max_size=20))
+    def test_roundtrip(self, regions):
+        cm = ClickMap(regions)
+        restored = ClickMap.from_bytes(cm.to_bytes())
+        assert restored.regions == cm.regions
+
+    def test_unicode_href(self):
+        cm = ClickMap([ClickRegion(0, 0, 1, 1, "пример.pk/страница")])
+        assert ClickMap.from_bytes(cm.to_bytes()).regions == cm.regions
+
+    def test_href_too_long(self):
+        cm = ClickMap([ClickRegion(0, 0, 1, 1, "x" * 300)])
+        with pytest.raises(ValueError):
+            cm.to_bytes()

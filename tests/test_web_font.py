@@ -1,0 +1,50 @@
+"""Bitmap font rendering."""
+
+import numpy as np
+import pytest
+
+from repro.web import font
+
+
+class TestGlyphs:
+    def test_shape(self):
+        assert font.glyph("A").shape == (7, 5)
+
+    def test_space_is_empty(self):
+        assert not font.glyph(" ").any()
+
+    def test_letters_nonempty(self):
+        for c in "AZaz09!?":
+            assert font.glyph(c).any(), c
+
+    def test_unknown_falls_back(self):
+        assert np.array_equal(font.glyph("é"), font.glyph("?"))
+
+    def test_distinct_glyphs(self):
+        rendered = {c: font.glyph(c).tobytes() for c in "ABCDEFGHIJ"}
+        assert len(set(rendered.values())) == len(rendered)
+
+
+class TestRenderText:
+    def test_width_formula(self):
+        assert font.text_width("abc") == 3 * 6 - 1
+        assert font.text_width("abc", scale=2) == (3 * 6 - 1) * 2
+        assert font.text_width("") == 0
+
+    def test_canvas_shape(self):
+        out = font.render_text("hi", scale=3)
+        assert out.shape == (21, font.text_width("hi", 3))
+
+    def test_scaling_preserves_pattern(self):
+        base = font.render_text("X")
+        scaled = font.render_text("X", scale=2)
+        assert np.array_equal(scaled[::2, ::2], base)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            font.render_text("x", scale=0)
+
+    def test_empty_string(self):
+        out = font.render_text("")
+        assert out.shape[0] == 7
+        assert not out.any()

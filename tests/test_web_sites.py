@@ -1,0 +1,112 @@
+"""Synthetic site generator: corpus structure, determinism, churn."""
+
+import pytest
+
+from repro.web.dom import Header, Heading
+from repro.web.sites import CATEGORY_REFRESH_HOURS, SiteGenerator
+
+
+class TestCorpus:
+    def test_paper_dimensions(self, site_generator):
+        """25 sites, 100 pages: 25 landing + 75 internal (Section 4)."""
+        sites = site_generator.websites()
+        assert len(sites) == 25
+        urls = site_generator.all_urls()
+        assert len(urls) == 100
+        assert sum(1 for u in urls if u.endswith("/")) == 25
+
+    def test_all_pk_domains(self, site_generator):
+        for site in site_generator.websites():
+            assert site.domain.endswith(".pk") or ".pk" in site.domain
+
+    def test_category_mix(self, site_generator):
+        categories = {s.category for s in site_generator.websites()}
+        assert {"news", "ecommerce", "government"} <= categories
+
+    def test_ranks_sequential(self, site_generator):
+        assert [s.rank for s in site_generator.websites()] == list(range(1, 26))
+
+    def test_large_corpus_n200(self):
+        """Figure 4(c)'s N=200 projection needs 50 .pk sites."""
+        gen = SiteGenerator(seed=1, n_sites=50)
+        assert len(gen.all_urls()) == 200
+
+    def test_unknown_domain_raises(self, site_generator):
+        with pytest.raises(KeyError):
+            site_generator.website("not-a-site.pk")
+
+
+class TestPages:
+    def test_deterministic(self, site_generator):
+        url = site_generator.all_urls()[0]
+        a = site_generator.page(url, 5)
+        b = site_generator.page(url, 5)
+        assert a.elements == b.elements
+
+    def test_landing_has_header_and_stories(self, site_generator):
+        page = site_generator.page(site_generator.websites()[0].landing_url, 0)
+        assert isinstance(page.elements[0], Header)
+        assert any(isinstance(e, Heading) for e in page.elements)
+
+    def test_internal_links_stay_on_site(self, site_generator):
+        site = site_generator.websites()[0]
+        page = site_generator.page(site.landing_url, 0)
+        for href in page.internal_links():
+            if href.startswith("action:"):
+                continue
+            assert href.startswith(site.domain)
+
+    def test_article_pages_render(self, site_generator):
+        site = site_generator.websites()[0]
+        url = f"{site.domain}{site.internal_paths[0]}"
+        page = site_generator.page(url, 0)
+        assert len(page.elements) > 5
+
+
+class TestChurn:
+    def test_epoch_monotone(self, site_generator):
+        url = site_generator.all_urls()[0]
+        epochs = [site_generator.effective_epoch(url, h) for h in range(0, 48, 4)]
+        assert all(a <= b for a, b in zip(epochs, epochs[1:]))
+
+    def test_changed_at_consistent_with_epoch(self, site_generator):
+        url = site_generator.all_urls()[0]
+        for hour in range(1, 30):
+            changed = site_generator.changed_at(url, hour)
+            delta = site_generator.effective_epoch(
+                url, hour
+            ) != site_generator.effective_epoch(url, hour - 1)
+            assert changed == delta
+
+    def test_news_churns_more_than_government(self, site_generator):
+        by_cat = {}
+        for site in site_generator.websites():
+            by_cat.setdefault(site.category, site)
+        if "news" in by_cat and "government" in by_cat:
+            news_changes = sum(
+                site_generator.changed_at(by_cat["news"].landing_url, h)
+                for h in range(1, 72)
+            )
+            gov_changes = sum(
+                site_generator.changed_at(by_cat["government"].landing_url, h)
+                for h in range(1, 72)
+            )
+            assert news_changes > gov_changes
+
+    def test_diurnal_activity_shape(self):
+        assert SiteGenerator.diurnal_activity(3) < SiteGenerator.diurnal_activity(12)
+        assert SiteGenerator.diurnal_activity(12) == 1.0
+
+    def test_content_actually_changes_across_epochs(self, site_generator):
+        url = site_generator.all_urls()[0]
+        base = site_generator.page(url, 0)
+        # Find an hour where a change was gated in.
+        for hour in range(1, 48):
+            if site_generator.changed_at(url, hour):
+                assert site_generator.page(url, hour).elements != base.elements
+                return
+        pytest.fail("no content change in 48 hours")
+
+    def test_refresh_cadences_defined(self):
+        assert CATEGORY_REFRESH_HOURS["news"] == 1
+        assert CATEGORY_REFRESH_HOURS["government"] == 24

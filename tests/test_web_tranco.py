@@ -1,0 +1,50 @@
+"""Tranco-like ranked list."""
+
+import pytest
+
+from repro.web.tranco import TrancoList
+
+
+class TestTranco:
+    def test_size(self):
+        assert len(TrancoList(seed=0, size=500)) == 500
+
+    def test_deterministic(self):
+        a = [e.domain for e in TrancoList(seed=3).entries[:20]]
+        b = [e.domain for e in TrancoList(seed=3).entries[:20]]
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = [e.domain for e in TrancoList(seed=1).entries[:20]]
+        b = [e.domain for e in TrancoList(seed=2).entries[:20]]
+        assert a != b
+
+    def test_filter_suffix(self):
+        tl = TrancoList(seed=0)
+        pk = tl.filter(".pk")
+        assert pk
+        assert all(e.domain.endswith(".pk") for e in pk)
+        ranks = [e.rank for e in pk]
+        assert ranks == sorted(ranks)
+
+    def test_top_is_paper_query(self):
+        """Top 25 .pk domains — the paper's Tranco selection."""
+        top = TrancoList(seed=0).top(25, suffix=".pk")
+        assert len(top) == 25
+        assert all(e.domain.endswith(".pk") for e in top)
+
+    def test_weights_zipf_decreasing(self):
+        entries = TrancoList(seed=0).entries
+        assert entries[0].weight > entries[10].weight > entries[100].weight
+
+    def test_min_pk_extension(self):
+        tl = TrancoList(seed=0, size=500, min_pk=60)
+        assert len(tl.filter(".pk")) >= 60
+
+    def test_no_duplicate_domains(self):
+        domains = [e.domain for e in TrancoList(seed=0).entries]
+        assert len(domains) == len(set(domains))
+
+    def test_size_floor(self):
+        with pytest.raises(ValueError):
+            TrancoList(size=10)
