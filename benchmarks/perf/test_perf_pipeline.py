@@ -1,0 +1,221 @@
+"""Throughput benchmarks for the vectorised FEC + batch frame pipeline.
+
+Times the three layers the PR optimised — Reed-Solomon block coding, the
+batched frame codec, and the end-to-end page -> waveform -> page chain —
+against their scalar/per-frame reference paths, and writes the numbers to
+``BENCH_pipeline.json`` at the repository root so later PRs can track the
+perf trajectory.
+
+Run explicitly (tier-1 skips timing-sensitive tests):
+
+    python -m repro bench            # or
+    python -m pytest benchmarks/perf -m perf -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import full_scale, print_table
+from repro.core.pipeline import frames_to_waveform, waveform_to_frames
+from repro.fec.reed_solomon import ReedSolomon
+from repro.modem.frame import FrameCodec
+from repro.modem.modem import Modem
+from repro.transport.framing import Frame, FrameHeader, FrameType
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_JSON = REPO_ROOT / "BENCH_pipeline.json"
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best wall-clock of ``repeats`` runs — robust to scheduler noise."""
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Accumulates section results and writes the JSON on teardown.
+
+    Writing in the finalizer (not the last test) means a filtered run
+    (``repro bench -k reed``) still persists whatever sections it timed.
+    """
+    data: dict = {}
+    yield data
+    data["meta"] = {
+        "bench": "pipeline",
+        "full_scale": full_scale(),
+        "written_by": "benchmarks/perf/test_perf_pipeline.py",
+    }
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {BENCH_JSON}")
+
+
+class TestReedSolomonThroughput:
+    def test_encode_decode_speedup(self, results):
+        nsym = 16
+        rs = ReedSolomon(nsym)
+        n_blocks = 512 if full_scale() else 128
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 256, (n_blocks, 255 - nsym), dtype=np.uint8)
+
+        t_enc_vec = _best_of(lambda: rs.encode_blocks(data))
+        t_enc_ref = _best_of(
+            lambda: [rs.encode_ref(row.tobytes()) for row in data], repeats=1
+        )
+        coded = rs.encode_blocks(data)
+
+        # Clean-decode path (the broadcast common case).
+        t_dec_vec = _best_of(lambda: rs.decode_blocks(coded))
+        t_dec_ref = _best_of(
+            lambda: [rs.decode_ref(row.tobytes()) for row in coded], repeats=1
+        )
+
+        # Decode with t = nsym/2 errors per block (worst accepted load).
+        corrupted = coded.copy()
+        for i in range(n_blocks):
+            pos = rng.choice(255, size=nsym // 2, replace=False)
+            corrupted[i, pos] ^= rng.integers(1, 256, nsym // 2).astype(np.uint8)
+        t_err_vec = _best_of(lambda: rs.decode_blocks(corrupted), repeats=1)
+        t_err_ref = _best_of(
+            lambda: [rs.decode_ref(row.tobytes()) for row in corrupted], repeats=1
+        )
+        assert rs.decode_blocks(corrupted).all_ok
+
+        section = {
+            "nsym": nsym,
+            "n_blocks": n_blocks,
+            "block_bytes": 255,
+            "encode_blocks_per_s": n_blocks / t_enc_vec,
+            "encode_ref_blocks_per_s": n_blocks / t_enc_ref,
+            "encode_speedup": t_enc_ref / t_enc_vec,
+            "decode_clean_blocks_per_s": n_blocks / t_dec_vec,
+            "decode_clean_ref_blocks_per_s": n_blocks / t_dec_ref,
+            "decode_clean_speedup": t_dec_ref / t_dec_vec,
+            "decode_errors_blocks_per_s": n_blocks / t_err_vec,
+            "decode_errors_ref_blocks_per_s": n_blocks / t_err_ref,
+            "decode_errors_speedup": t_err_ref / t_err_vec,
+        }
+        results["reed_solomon"] = section
+        print_table(
+            "RS(255) throughput (vectorised vs scalar reference)",
+            ["path", "blocks/s", "speedup"],
+            [
+                ["encode", f"{section['encode_blocks_per_s']:.0f}",
+                 f"{section['encode_speedup']:.1f}x"],
+                ["decode clean", f"{section['decode_clean_blocks_per_s']:.0f}",
+                 f"{section['decode_clean_speedup']:.1f}x"],
+                ["decode t errs", f"{section['decode_errors_blocks_per_s']:.0f}",
+                 f"{section['decode_errors_speedup']:.1f}x"],
+            ],
+        )
+        # The PR's acceptance bar: >= 10x on 255-byte blocks.
+        assert section["encode_speedup"] >= 10.0
+        assert section["decode_clean_speedup"] >= 10.0
+
+
+class TestFramePipelineThroughput:
+    def test_batch_vs_per_frame_codec(self, results):
+        codec = FrameCodec()
+        n_frames = 64 if full_scale() else 32
+        rng = np.random.default_rng(11)
+        payloads = [
+            rng.integers(0, 256, 100, dtype=np.uint8).tobytes()
+            for _ in range(n_frames)
+        ]
+
+        t_enc_batch = _best_of(lambda: codec.encode_batch(payloads))
+        t_enc_loop = _best_of(lambda: [codec.encode(p) for p in payloads])
+        bits = codec.encode_batch(payloads)
+        soft = 1.0 - 2.0 * bits.astype(np.float64)
+        t_dec_batch = _best_of(lambda: codec.decode_batch(soft))
+        t_dec_loop = _best_of(
+            lambda: [codec.decode(row) for row in soft], repeats=1
+        )
+
+        section = {
+            "n_frames": n_frames,
+            "payload_bytes": 100,
+            "encode_frames_per_s": n_frames / t_enc_batch,
+            "encode_loop_frames_per_s": n_frames / t_enc_loop,
+            "encode_speedup": t_enc_loop / t_enc_batch,
+            "decode_frames_per_s": n_frames / t_dec_batch,
+            "decode_loop_frames_per_s": n_frames / t_dec_loop,
+            "decode_speedup": t_dec_loop / t_dec_batch,
+        }
+        results["frame_codec"] = section
+        print_table(
+            "Frame codec throughput (batch vs per-frame)",
+            ["path", "frames/s", "speedup"],
+            [
+                ["encode", f"{section['encode_frames_per_s']:.0f}",
+                 f"{section['encode_speedup']:.1f}x"],
+                ["decode", f"{section['decode_frames_per_s']:.0f}",
+                 f"{section['decode_speedup']:.1f}x"],
+            ],
+        )
+        assert section["encode_speedup"] > 1.0
+        assert section["decode_speedup"] > 1.0
+
+
+class TestEndToEnd:
+    def test_page_roundtrip_and_write_json(self, results):
+        modem = Modem("sonic-ofdm")
+        n_frames = 48 if full_scale() else 24
+        rng = np.random.default_rng(13)
+        frames = [
+            Frame(
+                FrameHeader(FrameType.BUNDLE_BYTES, page_id=1, seq=i, total=n_frames),
+                rng.integers(0, 256, 83, dtype=np.uint8).tobytes(),
+            )
+            for i in range(n_frames)
+        ]
+
+        t_tx = _best_of(
+            lambda: frames_to_waveform(frames, modem, frames_per_burst=16),
+            repeats=2,
+        )
+        wave = frames_to_waveform(frames, modem, frames_per_burst=16)
+        t_rx = _best_of(
+            lambda: waveform_to_frames(wave, modem, frames_per_burst=16),
+            repeats=2,
+        )
+        received = waveform_to_frames(wave, modem, frames_per_burst=16)
+        delivered = sum(1 for f in received if f is not None)
+        assert delivered == n_frames  # clean channel: everything decodes
+
+        payload_bits = n_frames * 100 * 8
+        section = {
+            "n_frames": n_frames,
+            "profile": "sonic-ofdm",
+            "tx_frames_per_s": n_frames / t_tx,
+            "rx_frames_per_s": n_frames / t_rx,
+            "tx_kbps": payload_bits / t_tx / 1000,
+            "rx_kbps": payload_bits / t_rx / 1000,
+            "audio_seconds": wave.size / modem.profile.ofdm.sample_rate,
+            "realtime_factor_tx": (wave.size / modem.profile.ofdm.sample_rate) / t_tx,
+            "realtime_factor_rx": (wave.size / modem.profile.ofdm.sample_rate) / t_rx,
+        }
+        results["end_to_end"] = section
+        print_table(
+            "End-to-end page <-> waveform throughput",
+            ["direction", "frames/s", "kbps", "x realtime"],
+            [
+                ["page -> waveform", f"{section['tx_frames_per_s']:.0f}",
+                 f"{section['tx_kbps']:.0f}", f"{section['realtime_factor_tx']:.1f}"],
+                ["waveform -> page", f"{section['rx_frames_per_s']:.0f}",
+                 f"{section['rx_kbps']:.0f}", f"{section['realtime_factor_rx']:.1f}"],
+            ],
+        )
+

@@ -9,6 +9,7 @@ curious user would actually run:
 * ``encode / decode``      SWebp image compression
 * ``modem-tx / modem-rx``  bytes <-> playable WAV audio
 * ``simulate``             run the end-to-end system and report
+* ``bench``                run the perf benchmarks (BENCH_pipeline.json)
 """
 
 from __future__ import annotations
@@ -174,6 +175,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf benchmarks (pytest -m perf) and report the JSON path."""
+    import pytest
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks" / "perf"
+    if not bench_dir.is_dir():
+        # Fall back to an invocation from the repository root.
+        bench_dir = Path.cwd() / "benchmarks" / "perf"
+    if not bench_dir.is_dir():
+        print(
+            "error: benchmarks/perf not found — run from the repository checkout",
+            file=sys.stderr,
+        )
+        return 1
+    argv = ["-m", "perf", "-s", "-q", str(bench_dir)]
+    if args.keyword:
+        argv += ["-k", args.keyword]
+    code = pytest.main(argv)
+    out = bench_dir.parents[1] / "BENCH_pipeline.json"
+    if code == 0 and out.exists():
+        print(f"\nresults -> {out}")
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -220,6 +245,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None)
     p.add_argument("--profile", default="sonic-ofdm")
     p.set_defaults(func=_cmd_modem_rx)
+
+    p = sub.add_parser(
+        "bench", help="run the perf benchmarks (writes BENCH_pipeline.json)"
+    )
+    p.add_argument("-k", dest="keyword", default=None,
+                   help="pytest -k expression to select benchmarks")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("simulate", help="run the end-to-end system")
     p.add_argument("--seconds", type=float, default=1_800.0)

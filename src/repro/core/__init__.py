@@ -3,6 +3,7 @@
 from repro.core.config import SystemConfig
 from repro.core.pipeline import (
     LossSimulation,
+    frames_to_waveform,
     page_to_waveform,
     waveform_to_frames,
     simulate_column_loss,
@@ -13,6 +14,7 @@ __all__ = [
     "SystemConfig",
     "SonicSystem",
     "LossSimulation",
+    "frames_to_waveform",
     "page_to_waveform",
     "waveform_to_frames",
     "simulate_column_loss",

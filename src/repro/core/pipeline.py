@@ -23,6 +23,7 @@ from repro.transport.partition import ColumnTransport
 from repro.util.rng import derive_rng
 
 __all__ = [
+    "frames_to_waveform",
     "page_to_waveform",
     "waveform_to_frames",
     "LossSimulation",
@@ -30,10 +31,15 @@ __all__ = [
 ]
 
 
-def page_to_waveform(
+def frames_to_waveform(
     frames: list[Frame], modem: Modem, frames_per_burst: int = 16
 ) -> np.ndarray:
-    """Modulate transport frames into audio, bursting for efficiency."""
+    """Modulate transport frames into audio, bursting for efficiency.
+
+    Each burst of up to ``frames_per_burst`` frames goes through the
+    batched FEC + modulation path (:meth:`Modem.transmit_burst`), so the
+    per-frame Python overhead is paid once per burst, not once per frame.
+    """
     if not frames:
         return np.zeros(0)
     from repro.transport.framing import FRAME_SIZE
@@ -49,6 +55,10 @@ def page_to_waveform(
         chunks.append(modem.transmit_burst(burst))
         chunks.append(np.zeros(modem.profile.guard_samples))
     return np.concatenate(chunks)
+
+
+#: Historical name; the pipeline operates on any frame list, not just pages.
+page_to_waveform = frames_to_waveform
 
 
 def waveform_to_frames(

@@ -96,6 +96,30 @@ class ConvolutionalCode:
             outputs.append(conv[: flushed.size])
         return np.stack(outputs, axis=1).reshape(-1).astype(np.uint8)
 
+    def encode_batch(self, bits: np.ndarray) -> np.ndarray:
+        """Encode a ``(n_frames, n_info_bits)`` stack of bit vectors at once.
+
+        Each row is flushed and encoded independently (identical output to
+        :meth:`encode` per row).  The binary convolution is computed as an
+        XOR of tap-shifted copies, so the cost per tap is one vectorised
+        pass over the whole stack.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 2 or bits.shape[1] == 0:
+            raise ValueError("expected a non-empty (n_frames, n_bits) array")
+        k = self.constraint
+        n, n_info = bits.shape
+        total = n_info + k - 1
+        flushed = np.zeros((n, total), dtype=np.uint8)
+        flushed[:, :n_info] = bits
+        out = np.zeros((n, total, self.n_out), dtype=np.uint8)
+        for j, poly in enumerate(self.polys):
+            acc = out[:, :, j]
+            for i in range(k):
+                if (poly >> (k - 1 - i)) & 1:
+                    acc[:, i:] ^= flushed[:, : total - i]
+        return out.reshape(n, -1)
+
     def coded_length(self, n_info_bits: int) -> int:
         """Number of coded bits produced for ``n_info_bits`` inputs."""
         return (n_info_bits + self.constraint - 1) * self.n_out
@@ -146,6 +170,55 @@ class ConvolutionalCode:
             out[t] = self._input_bit[state]
             state = int(preds[state, decisions[t, state]])
         return out[:n_info_bits]
+
+    def decode_soft_batch(
+        self, soft_bits: np.ndarray, n_info_bits: int
+    ) -> np.ndarray:
+        """Soft-decision Viterbi decode of a ``(n_frames, coded)`` stack.
+
+        Each frame runs its own terminated trellis (the flush bits end
+        every frame in state 0, so frames cannot share one trellis pass),
+        but the add-compare-select recursion at each bit time runs over
+        all frames simultaneously — the Python-level loop count no longer
+        scales with the number of frames.  Identical output to
+        :meth:`decode_soft` row by row.
+        """
+        soft = np.asarray(soft_bits, dtype=np.float64)
+        if soft.ndim != 2:
+            raise ValueError(f"expected a (n_frames, coded) array, got {soft.shape}")
+        total = n_info_bits + self.constraint - 1
+        expected = total * self.n_out
+        if soft.shape[1] != expected:
+            raise ValueError(
+                f"expected {expected} coded bits for {n_info_bits} info bits, "
+                f"got {soft.shape[1]}"
+            )
+        n = soft.shape[0]
+        symbols = soft.reshape(n, total, self.n_out)
+
+        s = self.n_states
+        metrics = np.full((n, s), -np.inf)
+        metrics[:, 0] = 0.0  # every encoder starts zero-filled
+        decisions = np.empty((n, total, s), dtype=np.uint8)
+        preds = self._preds
+        # (s*2, n_out) so the branch metric is one matmul per bit time.
+        bipolar_flat = self._branch_bipolar.reshape(s * 2, self.n_out)
+
+        for t in range(total):
+            bm = symbols[:, t, :] @ bipolar_flat.T  # (n, s*2)
+            cand = metrics[:, preds] + bm.reshape(n, s, 2)  # (n, s, 2)
+            # argmax ties resolve to index 0, matching decode_soft.
+            choice = cand[:, :, 1] > cand[:, :, 0]
+            metrics = np.where(choice, cand[:, :, 1], cand[:, :, 0])
+            decisions[:, t] = choice
+
+        state = np.zeros(n, dtype=np.intp)
+        rows = np.arange(n)
+        out = np.zeros((n, total), dtype=np.uint8)
+        for t in range(total - 1, -1, -1):
+            out[:, t] = self._input_bit[state]
+            state = preds[state, decisions[rows, t, state]]
+        return out[:, :n_info_bits]
 
 
 #: Quiet's ``v27``: K=7 rate-1/2 NASA-standard code.

@@ -45,3 +45,25 @@ class BlockInterleaver:
                 f"expected {self.size} elements, got {values.size}"
             )
         return values.reshape(self.cols, self.rows).T.reshape(-1)
+
+    # -- batch entry points (one row per frame) -----------------------------
+
+    def interleave_many(self, values: np.ndarray) -> np.ndarray:
+        """Permute each row of a ``(n_frames, size)`` array independently."""
+        values = np.asarray(values)
+        if values.ndim != 2 or values.shape[1] != self.size:
+            raise ValueError(
+                f"expected (n, {self.size}) array, got {values.shape}"
+            )
+        n = values.shape[0]
+        return values.reshape(n, self.rows, self.cols).transpose(0, 2, 1).reshape(n, -1)
+
+    def deinterleave_many(self, values: np.ndarray) -> np.ndarray:
+        """Invert :meth:`interleave_many` row-wise."""
+        values = np.asarray(values)
+        if values.ndim != 2 or values.shape[1] != self.size:
+            raise ValueError(
+                f"expected (n, {self.size}) array, got {values.shape}"
+            )
+        n = values.shape[0]
+        return values.reshape(n, self.cols, self.rows).transpose(0, 2, 1).reshape(n, -1)

@@ -10,6 +10,19 @@ in erasures, Berlekamp-Massey for the error locator, a Chien-style root
 search for positions, and the Forney algorithm for magnitudes.  The
 polynomial conventions (coefficient lists, highest degree first) follow
 the standard "Reed-Solomon codes for coders" formulation.
+
+Two implementations coexist:
+
+* the **vectorised** path — :meth:`ReedSolomon.encode_blocks` /
+  :meth:`ReedSolomon.decode_blocks` run the LFSR parity recursion, the
+  syndrome computation, and the Chien search as numpy table gathers over a
+  whole ``(n_blocks, block_len)`` stack at once, which is what the batch
+  frame pipeline and the broadcast carousel feed; and
+* the **scalar reference** — :meth:`ReedSolomon.encode_ref` /
+  :meth:`ReedSolomon.decode_ref`, the original byte-at-a-time code, kept
+  as the golden model the property tests compare against.
+
+``encode``/``decode`` are thin wrappers over the vectorised path.
 """
 
 from __future__ import annotations
@@ -20,7 +33,7 @@ import numpy as np
 
 from repro.fec.galois import GF
 
-__all__ = ["ReedSolomon", "RSDecodeError"]
+__all__ = ["ReedSolomon", "RSDecodeError", "BlockDecodeReport"]
 
 
 class RSDecodeError(Exception):
@@ -33,6 +46,20 @@ class DecodeReport:
 
     data: bytes
     corrected: int
+
+
+@dataclass(frozen=True)
+class BlockDecodeReport:
+    """Outcome of :meth:`ReedSolomon.decode_blocks` over a block stack."""
+
+    data: np.ndarray  # (n_blocks, block_len - nsym) uint8, rows valid iff ok
+    corrected: np.ndarray  # (n_blocks,) errata fixed per block
+    ok: np.ndarray  # (n_blocks,) bool
+    errors: tuple[str | None, ...]  # failure reason per block (None = ok)
+
+    @property
+    def all_ok(self) -> bool:
+        return bool(self.ok.all())
 
 
 def _poly_scale(p: list[int], x: int) -> list[int]:
@@ -86,6 +113,11 @@ class ReedSolomon:
         for i in range(nsym):
             gen = _poly_mul(gen, [1, GF.exp(i)])
         self._gen = gen
+        # LFSR tap table: row j holds gen[j+1] * b for every byte b, so the
+        # vectorised parity recursion is a single gather per data column.
+        self._gen_taps = GF.mul_table[np.asarray(gen[1:], dtype=np.intp)]
+        # Syndrome evaluation points alpha^0 .. alpha^(nsym-1).
+        self._synd_points = GF.exp_vec(np.arange(nsym)).astype(np.intp)
 
     @property
     def max_data_len(self) -> int:
@@ -96,6 +128,39 @@ class ReedSolomon:
 
     def encode(self, data: bytes) -> bytes:
         """Append ``nsym`` parity bytes to ``data`` (systematic encoding)."""
+        block = np.frombuffer(bytes(data), dtype=np.uint8)
+        return self.encode_blocks(block[None, :])[0].tobytes()
+
+    def encode_blocks(self, data: np.ndarray) -> np.ndarray:
+        """Systematically encode a whole ``(n_blocks, k)`` stack at once.
+
+        Every row receives its ``nsym`` parity bytes; the return shape is
+        ``(n_blocks, k + nsym)``.  The LFSR parity recursion runs column
+        by column (``k`` steps) but over all blocks simultaneously, so the
+        per-byte work is numpy table gathers rather than Python loops.
+        """
+        data = np.atleast_2d(np.asarray(data, dtype=np.uint8))
+        if data.ndim != 2:
+            raise ValueError(f"expected a (n_blocks, k) array, got {data.shape}")
+        n, k = data.shape
+        if k == 0:
+            raise ValueError("cannot encode an empty message")
+        if k > self.max_data_len:
+            raise ValueError(
+                f"message of {k} bytes exceeds block capacity {self.max_data_len}"
+            )
+        taps = self._gen_taps  # (nsym, 256)
+        parity = np.zeros((n, self.nsym), dtype=np.uint8)
+        for i in range(k):
+            feedback = data[:, i] ^ parity[:, 0]
+            shifted = np.empty_like(parity)
+            shifted[:, :-1] = parity[:, 1:]
+            shifted[:, -1] = 0
+            parity = shifted ^ taps[:, feedback].T
+        return np.concatenate([data, parity], axis=1)
+
+    def encode_ref(self, data: bytes) -> bytes:
+        """Golden byte-at-a-time reference encoder (the seed implementation)."""
         if len(data) == 0:
             raise ValueError("cannot encode an empty message")
         if len(data) > self.max_data_len:
@@ -127,6 +192,85 @@ class ReedSolomon:
         self, block: bytes, erase_pos: list[int] | None = None
     ) -> DecodeReport:
         """Like :meth:`decode` but also reports how many bytes were fixed."""
+        arr = np.frombuffer(bytes(block), dtype=np.uint8)
+        report = self.decode_blocks(
+            arr[None, :], [erase_pos] if erase_pos is not None else None
+        )
+        if not report.ok[0]:
+            raise RSDecodeError(report.errors[0])
+        return DecodeReport(report.data[0].tobytes(), int(report.corrected[0]))
+
+    def decode_blocks(
+        self,
+        blocks: np.ndarray,
+        erase_pos: list[list[int] | None] | None = None,
+    ) -> BlockDecodeReport:
+        """Decode a ``(n_blocks, block_len)`` stack in one call.
+
+        Syndromes are computed for all blocks at once; only blocks with
+        non-zero syndromes enter the (data-dependent) errata chain, so a
+        clean broadcast costs one vectorised pass.  Per-block failures are
+        reported in the ``ok``/``errors`` fields rather than raised, which
+        lets the frame pipeline keep the surviving frames.
+
+        ``erase_pos`` optionally gives one erasure-index list per block.
+        """
+        blocks = np.atleast_2d(np.asarray(blocks, dtype=np.uint8))
+        if blocks.ndim != 2:
+            raise ValueError(f"expected a (n_blocks, L) array, got {blocks.shape}")
+        n, length = blocks.shape
+        if length <= self.nsym:
+            raise ValueError(
+                f"block of {length} bytes is too short for {self.nsym} parity"
+            )
+        if length > 255:
+            raise ValueError(f"block of {length} bytes exceeds RS symbol span")
+        if erase_pos is None:
+            erasures: list[list[int]] = [[] for _ in range(n)]
+        else:
+            if len(erase_pos) != n:
+                raise ValueError(
+                    f"got {len(erase_pos)} erasure lists for {n} blocks"
+                )
+            erasures = [sorted(set(ep or [])) for ep in erase_pos]
+            for ep in erasures:
+                if any(not 0 <= p < length for p in ep):
+                    raise ValueError("erasure position out of range")
+
+        work = blocks.copy()
+        for i, ep in enumerate(erasures):
+            if ep:
+                work[i, ep] = 0
+
+        synd = self._syndromes_blocks(work)
+        ok = np.ones(n, dtype=bool)
+        corrected = np.array([len(ep) for ep in erasures], dtype=np.int64)
+        errors: list[str | None] = [None] * n
+
+        for i in range(n):
+            if len(erasures[i]) > self.nsym:
+                ok[i] = False
+                errors[i] = (
+                    f"{len(erasures[i])} erasures exceed correction "
+                    f"capacity {self.nsym}"
+                )
+        needs_chain = np.nonzero(synd.any(axis=1) & ok)[0]
+        for i in needs_chain:
+            try:
+                work[i], corrected[i] = self._decode_errata(
+                    work[i], synd[i], erasures[i]
+                )
+            except RSDecodeError as exc:
+                ok[i] = False
+                errors[i] = str(exc)
+        return BlockDecodeReport(
+            work[:, : length - self.nsym], corrected, ok, tuple(errors)
+        )
+
+    def decode_ref(
+        self, block: bytes, erase_pos: list[int] | None = None
+    ) -> DecodeReport:
+        """Golden scalar reference decoder (the seed implementation)."""
         if len(block) <= self.nsym:
             raise ValueError(
                 f"block of {len(block)} bytes is too short for {self.nsym} parity"
@@ -162,9 +306,60 @@ class ReedSolomon:
         """Return True when the block's syndromes all vanish (no errata)."""
         if len(block) <= self.nsym or len(block) > 255:
             return False
-        return max(self._syndromes(list(block))) == 0
+        arr = np.frombuffer(bytes(block), dtype=np.uint8)
+        return not self._syndromes_blocks(arr[None, :]).any()
 
-    # -- decoding internals ----------------------------------------------------
+    # -- vectorised decoding internals ---------------------------------------
+
+    def _syndromes_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Syndromes of every block at once: ``(n, nsym)`` uint8.
+
+        Horner over the columns — one product-table gather and one XOR per
+        data byte position, for all blocks and all syndrome points.
+        """
+        table = GF.mul_table
+        xs = self._synd_points
+        acc = np.zeros((blocks.shape[0], self.nsym), dtype=np.uint8)
+        for c in range(blocks.shape[1]):
+            acc = table[acc, xs] ^ blocks[:, c, None]
+        return acc
+
+    def _decode_errata(
+        self, row: np.ndarray, synd_row: np.ndarray, erase_pos: list[int]
+    ) -> tuple[np.ndarray, int]:
+        """Run the errata chain on one block (called only on bad blocks)."""
+        length = int(row.size)
+        synd = [int(s) for s in synd_row]
+        fsynd = self._forney_syndromes(synd, erase_pos, length)
+        err_loc = self._berlekamp_massey(fsynd, len(erase_pos))
+        err_pos = self._find_errors_vec(err_loc[::-1], length)
+        msg = self._correct_errata(
+            [int(v) for v in row], synd, erase_pos + err_pos
+        )
+        fixed = np.asarray(msg, dtype=np.uint8)
+        if self._syndromes_blocks(fixed[None, :]).any():
+            raise RSDecodeError("residual syndromes after correction")
+        return fixed, len(erase_pos) + len(err_pos)
+
+    @staticmethod
+    def _find_errors_vec(err_loc_rev: list[int], nmess: int) -> list[int]:
+        """Vectorised Chien search: evaluate the locator at every position.
+
+        Same contract as :meth:`_find_errors`, but one
+        :meth:`~repro.fec.galois.GF256.poly_eval_many` call replaces the
+        per-position Horner loop.
+        """
+        errs = len(err_loc_rev) - 1
+        points = GF.exp_vec(np.arange(nmess))
+        values = GF.poly_eval_many(np.asarray(err_loc_rev), points)
+        roots = np.nonzero(values == 0)[0]
+        if roots.size != errs:
+            raise RSDecodeError(
+                "could not locate all errors (beyond correction capacity)"
+            )
+        return [nmess - 1 - int(i) for i in roots]
+
+    # -- scalar decoding internals ----------------------------------------------
 
     def _syndromes(self, msg: list[int]) -> list[int]:
         return [_poly_eval(msg, GF.exp(i)) for i in range(self.nsym)]

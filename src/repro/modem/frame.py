@@ -149,6 +149,61 @@ class FrameCodec:
             bits = self._conv.encode(bits)
         return bits
 
+    def encode_batch(self, payloads: list[bytes] | np.ndarray) -> np.ndarray:
+        """Protect many payloads at once: ``(n_frames, frame_bits)`` bits.
+
+        Bit-identical to calling :meth:`encode` per payload, but the RS
+        blocks of every frame are encoded in one :meth:`~repro.fec.\
+ReedSolomon.encode_blocks` call, interleaving is one reshape, and the
+        convolutional code runs one batched pass — so the Python-level
+        cost no longer scales with the frame count.
+        """
+        cfg = self.config
+        if isinstance(payloads, np.ndarray):
+            arr = np.atleast_2d(np.asarray(payloads, dtype=np.uint8))
+        else:
+            if not payloads:
+                raise ValueError("batch must contain at least one payload")
+            for p in payloads:
+                if len(p) != cfg.payload_size:
+                    raise ValueError(
+                        f"payload must be exactly {cfg.payload_size} bytes, "
+                        f"got {len(p)}"
+                    )
+            arr = np.frombuffer(b"".join(payloads), dtype=np.uint8).reshape(
+                len(payloads), cfg.payload_size
+            )
+        if arr.shape[1] != cfg.payload_size:
+            raise ValueError(
+                f"payload must be exactly {cfg.payload_size} bytes, "
+                f"got {arr.shape[1]}"
+            )
+        n = arr.shape[0]
+
+        body = np.zeros((n, self._padded_body), dtype=np.uint8)
+        body[:, : cfg.payload_size] = arr
+        for i in range(n):
+            crc = crc32_ieee(arr[i].tobytes())
+            body[i, cfg.payload_size : cfg.payload_size + 4] = np.frombuffer(
+                crc.to_bytes(4, "big"), dtype=np.uint8
+            )
+
+        if self._rs is not None:
+            blocks = body.reshape(n * self._n_blocks, self._block_data)
+            coded = self._rs.encode_blocks(blocks).reshape(n, self._coded_bytes)
+            if self._interleaver is not None:
+                coded = self._interleaver.interleave_many(coded)
+            stream = coded
+        else:
+            stream = body
+
+        bits = np.unpackbits(stream, axis=1)
+        if cfg.scramble:
+            bits = bits ^ self._pn[None, :]
+        if self._conv is not None:
+            bits = self._conv.encode_batch(bits)
+        return bits
+
     # -- decode ------------------------------------------------------------
 
     def decode(self, soft_bits: np.ndarray) -> bytes:
@@ -211,3 +266,70 @@ class FrameCodec:
         if crc32_ieee(payload) != stored:
             raise FrameDecodeError("CRC-32 mismatch")
         return payload
+
+    def decode_batch(self, soft_bits: np.ndarray) -> list[bytes | None]:
+        """Recover many frames from a ``(n_frames, frame_bits)`` soft stack.
+
+        Unrecoverable frames come back as ``None`` instead of raising, so
+        one bad frame does not cost the rest of the burst.  Decode
+        decisions are identical to :meth:`decode` per row: the batched
+        Viterbi, deinterleaver, and RS block decoder produce the same bits
+        as their scalar counterparts.
+        """
+        soft = np.atleast_2d(np.asarray(soft_bits, dtype=np.float64))
+        if soft.shape[1] < self._frame_bits:
+            raise ValueError(
+                f"expected {self._frame_bits} soft bits per frame, "
+                f"got {soft.shape[1]}"
+            )
+        soft = soft[:, : self._frame_bits]
+        n = soft.shape[0]
+
+        byte_confidence: np.ndarray | None = None
+        if self._conv is not None:
+            bits = self._conv.decode_soft_batch(soft, self._info_bits)
+        else:
+            bits = (soft < 0).astype(np.uint8)
+            if self.config.rs_erasures and self._rs is not None:
+                # Confidence of a byte = its weakest bit's magnitude.
+                byte_confidence = np.abs(soft).reshape(n, -1, 8).min(axis=2)
+        if self.config.scramble:
+            bits = bits ^ self._pn[None, :]
+        stream = np.packbits(bits, axis=1)
+
+        if self._rs is not None:
+            if self._interleaver is not None:
+                stream = self._interleaver.deinterleave_many(stream)
+                if byte_confidence is not None:
+                    byte_confidence = self._interleaver.deinterleave_many(
+                        byte_confidence
+                    )
+            coded_block = self._block_data + self.config.rs_nsym
+            blocks = stream.reshape(n * self._n_blocks, coded_block)
+            erase_lists: list[list[int] | None] | None = None
+            if byte_confidence is not None:
+                conf_blocks = byte_confidence.reshape(n * self._n_blocks, coded_block)
+                budget = max(0, self.config.rs_nsym - 2)
+                erase_lists = []
+                for conf in conf_blocks:
+                    order = np.argsort(conf)[:budget]
+                    threshold = float(np.median(conf)) * 0.5
+                    erase_lists.append([int(p) for p in order if conf[p] < threshold])
+            report = self._rs.decode_blocks(blocks, erase_lists)
+            block_ok = report.ok.reshape(n, self._n_blocks)
+            bodies = report.data.reshape(n, self._padded_body)
+            frame_ok = block_ok.all(axis=1)
+        else:
+            bodies = stream
+            frame_ok = np.ones(n, dtype=bool)
+
+        ps = self.config.payload_size
+        out: list[bytes | None] = []
+        for i in range(n):
+            if not frame_ok[i]:
+                out.append(None)
+                continue
+            payload = bodies[i, :ps].tobytes()
+            stored = int.from_bytes(bodies[i, ps : ps + 4].tobytes(), "big")
+            out.append(payload if crc32_ieee(payload) == stored else None)
+        return out

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dsp.chirp import linear_chirp, matched_filter_peak
-from repro.modem.frame import FrameCodec, FrameDecodeError
+from repro.modem.frame import FrameCodec
 from repro.modem.ofdm import OfdmPhy
 from repro.modem.profiles import ModemProfile, get_profile
 
@@ -97,11 +97,24 @@ class Modem:
         if not payloads:
             raise ValueError("burst must contain at least one payload")
         guard = np.zeros(self.profile.guard_samples)
-        parts = [self._preamble, guard, self.phy.training_waveform()]
-        for payload in payloads:
-            bits = self.codec.encode(payload)
-            parts.append(self.phy.modulate_bits(bits))
-        return np.concatenate(parts)
+        # Batch path: every frame's FEC runs in one stacked pass, and the
+        # per-frame bit vectors are padded to whole OFDM symbols so a
+        # single modulate_bits call emits the same samples as per-frame
+        # modulation would.
+        bits = self.codec.encode_batch(payloads)
+        per_sym = self.profile.ofdm.bits_per_symbol
+        padded = np.zeros(
+            (len(payloads), self._n_payload_symbols * per_sym), dtype=np.uint8
+        )
+        padded[:, : bits.shape[1]] = bits
+        return np.concatenate(
+            [
+                self._preamble,
+                guard,
+                self.phy.training_waveform(),
+                self.phy.modulate_bits(padded.reshape(-1)),
+            ]
+        )
 
     def transmit_frames(
         self, payloads: list[bytes], gap_s: float = 0.01
@@ -177,15 +190,12 @@ class Modem:
             except ValueError:
                 results.append(ReceivedFrame(None, start, -np.inf, score))
                 continue
-            grids = demod.data_symbols.reshape(
-                n_frames, per_frame * self.profile.ofdm.n_data_subcarriers
-            )
-            for row in grids:
-                soft = self.phy.constellation.demap_soft(row, demod.noise_var)
-                try:
-                    payload = self.codec.decode(soft)
-                except FrameDecodeError:
-                    payload = None
+            # Demap the whole burst's symbols at once, then FEC-decode all
+            # frames in one batched pass; losses stay per-frame (None).
+            soft = self.phy.constellation.demap_soft(
+                demod.data_symbols.reshape(-1), demod.noise_var
+            ).reshape(n_frames, -1)
+            for payload in self.codec.decode_batch(soft):
                 results.append(
                     ReceivedFrame(payload, start, demod.snr_db, score)
                 )

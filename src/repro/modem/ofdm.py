@@ -160,13 +160,15 @@ class OfdmPhy:
         symbols = self.constellation.map_bits(padded).reshape(
             n_sym, cfg.n_data_subcarriers
         )
-        chunks = []
-        for row in symbols:
-            active = np.zeros(cfg.num_subcarriers, dtype=np.complex128)
-            active[cfg.pilot_positions] = self._pilot_symbols
-            active[cfg.data_positions] = row
-            chunks.append(self._symbol_to_time(active))
-        return np.concatenate(chunks)
+        # All symbols synthesised in one batched irFFT; cyclic prefixes are
+        # prepended with a single concatenate.  Identical samples to the
+        # per-symbol path, paid once per call instead of once per symbol.
+        spectrum = np.zeros((n_sym, cfg.fft_size // 2 + 1), dtype=np.complex128)
+        spectrum[:, cfg.active_bins[cfg.pilot_positions]] = self._pilot_symbols
+        spectrum[:, cfg.active_bins[cfg.data_positions]] = symbols
+        time_sig = np.fft.irfft(spectrum, cfg.fft_size, axis=1) * self._scale
+        with_cp = np.concatenate([time_sig[:, -cfg.cp_len :], time_sig], axis=1)
+        return with_cp.reshape(-1)
 
     # -- demodulation ------------------------------------------------------------
 
@@ -184,36 +186,30 @@ class OfdmPhy:
         if start < 0 or needed > samples.size:
             raise ValueError("sample buffer too short for requested symbols")
 
-        def fft_active(sym_index: int) -> np.ndarray:
-            base = start + sym_index * cfg.symbol_len + cfg.cp_len
-            window = samples[base : base + cfg.fft_size]
-            return np.fft.rfft(window)[cfg.active_bins] / self._scale
+        # One strided gather + batched FFT covers the training symbol and
+        # every payload symbol; the per-symbol Python loop is gone.
+        bases = start + np.arange(n_symbols + 1) * cfg.symbol_len + cfg.cp_len
+        windows = samples[bases[:, None] + np.arange(cfg.fft_size)[None, :]]
+        spectra = np.fft.rfft(windows, axis=1)[:, cfg.active_bins] / self._scale
 
         # Channel estimate from the training symbol.
-        h = fft_active(0) / self._training_symbols
+        h = spectra[0] / self._training_symbols
         # Guard against dead bins (channel nulls) blowing up equalisation.
         h_mag = np.abs(h)
         floor = max(1e-6, 0.01 * float(np.median(h_mag)))
         h = np.where(h_mag < floor, floor, h)
 
-        grids = np.zeros((n_symbols, cfg.n_data_subcarriers), dtype=np.complex128)
-        pilot_err = []
-        for i in range(n_symbols):
-            raw = fft_active(i + 1)
-            eq = raw / h
-            pilots = eq[cfg.pilot_positions]
-            ref = self._pilot_symbols
-            # Track the residual complex gain (phase *and* amplitude) so
-            # slow channel flutter between training and payload symbols
-            # does not skew the QAM decision grid.
-            gain = np.sum(pilots * np.conj(ref)) / np.sum(np.abs(ref) ** 2)
-            if abs(gain) < 1e-3:
-                gain = 1.0
-            eq = eq / gain
-            grids[i] = eq[cfg.data_positions]
-            pilot_err.append(eq[cfg.pilot_positions] - ref)
+        eq = spectra[1:] / h
+        ref = self._pilot_symbols
+        # Track the residual complex gain (phase *and* amplitude) so slow
+        # channel flutter between training and payload symbols does not
+        # skew the QAM decision grid.
+        gains = eq[:, cfg.pilot_positions] @ np.conj(ref) / np.sum(np.abs(ref) ** 2)
+        gains = np.where(np.abs(gains) < 1e-3, 1.0, gains)
+        eq = eq / gains[:, None]
+        grids = eq[:, cfg.data_positions]
 
-        err = np.concatenate(pilot_err)
+        err = eq[:, cfg.pilot_positions] - ref
         noise_var = float(np.mean(np.abs(err) ** 2))
         noise_var = max(noise_var, 1e-9)
         snr_db = float(10 * np.log10(1.0 / noise_var)) if noise_var > 0 else 90.0

@@ -7,13 +7,22 @@ preemptively push the region's popular pages.
 """
 
 from repro.server.cache import PageCache, CachedPage
-from repro.server.transmitters import Transmitter, TransmitterRegistry
+from repro.server.transmitters import (
+    BroadcastEncodeCache,
+    CacheStats,
+    Transmitter,
+    TransmitterRegistry,
+    payload_digest,
+)
 from repro.server.scheduler import PopularityScheduler, SchedulerConfig
 from repro.server.server import SonicServer, ServerConfig
 
 __all__ = [
     "PageCache",
     "CachedPage",
+    "BroadcastEncodeCache",
+    "CacheStats",
+    "payload_digest",
     "Transmitter",
     "TransmitterRegistry",
     "PopularityScheduler",

@@ -13,7 +13,11 @@ from dataclasses import dataclass, field
 
 from repro.server.cache import PageCache
 from repro.server.scheduler import PopularityScheduler, SchedulerConfig
-from repro.server.transmitters import Transmitter, TransmitterRegistry
+from repro.server.transmitters import (
+    Transmitter,
+    TransmitterRegistry,
+    payload_digest,
+)
 from repro.sim.geometry import Location
 from repro.sms.gateway import SmsGateway
 from repro.sms.message import SmsMessage
@@ -140,13 +144,29 @@ class SonicServer:
         version: int = 0,
         with_frames: bool = True,
     ) -> None:
+        """Queue ``data`` on a transmitter's carousel.
+
+        Frame chunking goes through the transmitter's broadcast encode
+        cache: a repeat broadcast of byte-identical content (the hourly
+        carousel case, or two users requesting the same page) reuses the
+        previously chunked frames instead of re-encoding them.
+        """
+        digest = payload_digest(data)
         frames = (
-            self._transport.chunk(data, page_id=self.page_id(url), version=version)
+            tx.cache.frames(
+                data,
+                page_id=self.page_id(url),
+                version=version,
+                transport=self._transport,
+                digest=digest,
+            )
             if with_frames
             else None
         )
         tx.carousel.enqueue(
-            CarouselItem(url, len(data), priority=priority, frames=frames)
+            CarouselItem(
+                url, len(data), priority=priority, frames=frames, digest=digest
+            )
         )
 
     # -- SMS handling ------------------------------------------------------------

@@ -27,6 +27,7 @@ class CarouselItem:
     priority: float = 0.0  # higher drains first; requests outrank pushes
     enqueued_at: float = 0.0  # simulation time, seconds
     frames: list[Frame] | None = None  # present in frame-level simulations
+    digest: str | None = None  # payload content digest (broadcast cache key)
     sent_bytes: int = 0
     frames_sent: int = 0
 
@@ -76,6 +77,10 @@ class BroadcastCarousel:
     @staticmethod
     def _same_version(a: CarouselItem, b: CarouselItem) -> bool:
         """Two queued items carry the identical render of a page."""
+        if a.digest is not None and b.digest is not None:
+            # Content digests (from the broadcast encode cache) settle
+            # identity exactly, without touching the frame lists.
+            return a.digest == b.digest
         if a.size_bytes != b.size_bytes:
             return False
         if a.frames is None or b.frames is None:
