@@ -1,0 +1,92 @@
+"""Throughput benchmark for the parallel receiver-fleet harness.
+
+Measures how fast :func:`repro.sim.receivers.run_fleet` pushes one
+broadcast waveform through N impaired receivers, serially and on the
+``multiprocessing`` pool, and merges the numbers into the same
+``BENCH_pipeline.json`` the pipeline benchmarks write.
+
+Run explicitly:
+
+    python -m repro bench -k fleet
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import full_scale, print_table
+from repro.modem.modem import Modem
+from repro.sim.receivers import FleetConfig, run_fleet
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_JSON = REPO_ROOT / "BENCH_pipeline.json"
+
+
+class TestFleetThroughput:
+    def test_fleet_scaling(self):
+        modem = Modem("sonic-ofdm")
+        n_frames = 32 if full_scale() else 16
+        n_receivers = 8 if full_scale() else 4
+        rng = np.random.default_rng(19)
+        wave = modem.transmit_burst(
+            [
+                rng.integers(0, 256, 100, dtype=np.uint8).tobytes()
+                for _ in range(n_frames)
+            ]
+        )
+        audio_s = wave.size / modem.profile.ofdm.sample_rate
+        config = FleetConfig(
+            n_receivers=n_receivers,
+            master_seed=23,
+            impairment="awgn",
+            snr_db=14.0,
+            frames_per_burst=n_frames,
+        )
+
+        pool_size = min(4, os.cpu_count() or 1)
+        serial = run_fleet(wave, config, processes=1)
+        pooled = run_fleet(wave, config, processes=pool_size)
+        # Same seeds => the pool must reproduce the serial loss maps.
+        assert serial.loss_maps() == pooled.loss_maps()
+
+        # Scaling efficiency: throughput gain per extra process.
+        speedup = pooled.receivers_per_s / serial.receivers_per_s
+        efficiency = speedup / pool_size
+
+        section = {
+            "n_receivers": n_receivers,
+            "n_frames": n_frames,
+            "audio_seconds": audio_s,
+            "impairment": "awgn",
+            "pool_size": pool_size,
+            "serial_receivers_per_s": serial.receivers_per_s,
+            "pool_receivers_per_s": pooled.receivers_per_s,
+            "pool_speedup": speedup,
+            "pool_efficiency": efficiency,
+            "mean_loss_rate": serial.mean_loss_rate,
+            "realtime_factor_per_receiver": audio_s * serial.receivers_per_s,
+        }
+        data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+        data["fleet"] = section
+        BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+        print_table(
+            f"Receiver fleet ({n_receivers} receivers x {audio_s:.1f}s broadcast)",
+            ["path", "receivers/s", "speedup"],
+            [
+                ["serial", f"{serial.receivers_per_s:.1f}", "1.0x"],
+                [f"pool ({pool_size})", f"{pooled.receivers_per_s:.1f}",
+                 f"{speedup:.2f}x"],
+            ],
+        )
+        # Near-linear scaling up to the pool size: on a single-core host
+        # the pool adds only IPC overhead, so the bar is relative.
+        assert efficiency >= 0.5

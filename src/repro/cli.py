@@ -175,6 +175,124 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Broadcast one waveform to a fleet of simulated receivers."""
+    from repro.modem.modem import Modem
+    from repro.sim.receivers import FleetConfig, run_fleet
+    from repro.util.rng import derive_rng
+
+    modem = Modem(args.profile)
+    rng = derive_rng(args.seed, "fleet-payload")
+    size = modem.frame_payload_size
+    wave_parts = []
+    for i in range(0, args.frames, args.frames_per_burst):
+        burst = [
+            rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+            for _ in range(min(args.frames_per_burst, args.frames - i))
+        ]
+        wave_parts.append(modem.transmit_burst(burst))
+        wave_parts.append(np.zeros(modem.profile.guard_samples))
+    wave = np.concatenate(wave_parts)
+
+    config = FleetConfig(
+        n_receivers=args.receivers,
+        master_seed=args.seed,
+        profile=args.profile,
+        impairment=args.impairment,
+        frames_per_burst=args.frames_per_burst,
+        snr_db=args.snr_db,
+        distance_m=args.distance_m,
+    )
+    result = run_fleet(wave, config, processes=args.processes)
+
+    audio_s = wave.size / modem.profile.ofdm.sample_rate
+    unit = {"clean": "", "awgn": " dB", "acoustic": " m"}[args.impairment]
+    print(f"{'rx':>4} {'channel':>10} {'frames':>7} {'ok':>5} {'loss':>7}")
+    for r in result.reports:
+        print(
+            f"{r.receiver_id:>4} {r.channel_param:>9.2f}{unit or ' '} "
+            f"{r.n_frames:>7} {r.n_ok:>5} {r.frame_loss_rate * 100:>6.1f}%"
+        )
+    print(
+        f"\n{result.n_receivers} receivers x {audio_s:.1f}s broadcast on "
+        f"{result.processes} process(es): {result.elapsed_s:.2f}s "
+        f"({result.receivers_per_s:.1f} receivers/s, "
+        f"mean loss {result.mean_loss_rate * 100:.1f}%)"
+    )
+    return 0
+
+
+def _bench_smoke(repo_root: Path) -> int:
+    """Fast perf regression gate against the checked-in baseline JSON."""
+    import json
+    import time
+
+    from repro.core.pipeline import frames_to_waveform, waveform_to_frames
+    from repro.modem.modem import Modem
+    from repro.sim.receivers import FleetConfig, run_fleet
+    from repro.transport.framing import Frame, FrameHeader, FrameType
+
+    bench_json = repo_root / "BENCH_pipeline.json"
+    if not bench_json.exists():
+        print("error: no checked-in BENCH_pipeline.json to compare against",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(bench_json.read_text())
+    if "end_to_end" not in baseline:
+        print(
+            "error: BENCH_pipeline.json has no end_to_end section — "
+            "run `python -m repro bench` once to establish the baseline",
+            file=sys.stderr,
+        )
+        return 1
+    rx_base = baseline["end_to_end"]["rx_frames_per_s"]
+
+    modem = Modem("sonic-ofdm")
+    n_frames = 24
+    rng = np.random.default_rng(13)
+    frames = [
+        Frame(
+            FrameHeader(FrameType.BUNDLE_BYTES, page_id=1, seq=i, total=n_frames),
+            rng.integers(0, 256, 83, dtype=np.uint8).tobytes(),
+        )
+        for i in range(n_frames)
+    ]
+    wave = frames_to_waveform(frames, modem, frames_per_burst=16)
+    received = waveform_to_frames(wave, modem, frames_per_burst=16)  # warm-up
+    best = np.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        received = waveform_to_frames(wave, modem, frames_per_burst=16)
+        best = min(best, time.perf_counter() - t0)
+    delivered = sum(1 for f in received if f is not None)
+    rx_now = n_frames / best
+
+    fleet = run_fleet(
+        wave, FleetConfig(n_receivers=2, impairment="clean"), processes=1
+    )
+
+    print(f"receiver decode: {rx_now:.0f} frames/s "
+          f"(baseline {rx_base:.0f}, {rx_now / rx_base:.2f}x)")
+    print(f"fleet harness:   {fleet.receivers_per_s:.1f} receivers/s, "
+          f"mean loss {fleet.mean_loss_rate * 100:.0f}%")
+    if delivered != n_frames:
+        print(f"error: clean channel delivered {delivered}/{n_frames} frames",
+              file=sys.stderr)
+        return 1
+    if fleet.mean_loss_rate > 0:
+        print("error: clean fleet lost frames", file=sys.stderr)
+        return 1
+    if rx_now < 0.7 * rx_base:
+        print(
+            f"error: receiver decode regressed >30% "
+            f"({rx_now:.0f} vs baseline {rx_base:.0f} frames/s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf smoke ok")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the perf benchmarks (pytest -m perf) and report the JSON path."""
     import pytest
@@ -189,6 +307,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.smoke:
+        return _bench_smoke(bench_dir.parents[1])
     argv = ["-m", "perf", "-s", "-q", str(bench_dir)]
     if args.keyword:
         argv += ["-k", args.keyword]
@@ -251,7 +371,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-k", dest="keyword", default=None,
                    help="pytest -k expression to select benchmarks")
+    p.add_argument("--smoke", action="store_true",
+                   help="quick gate: fail if receiver decode regressed >30%% "
+                        "vs the checked-in BENCH_pipeline.json")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "fleet", help="broadcast one waveform to N simulated receivers"
+    )
+    p.add_argument("--receivers", type=int, default=8)
+    p.add_argument("--frames", type=int, default=32)
+    p.add_argument("--frames-per-burst", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", default="sonic-ofdm")
+    p.add_argument("--impairment", choices=["clean", "awgn", "acoustic"],
+                   default="awgn")
+    p.add_argument("--snr-db", type=float, default=14.0)
+    p.add_argument("--distance-m", type=float, default=0.9)
+    p.add_argument("--processes", type=int, default=None)
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("simulate", help="run the end-to-end system")
     p.add_argument("--seconds", type=float, default=1_800.0)

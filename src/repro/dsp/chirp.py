@@ -62,7 +62,9 @@ def matched_filter_peak(
     if min_separation is None:
         min_separation = template.size
 
-    corr = signal.fftconvolve(x, template[::-1], mode="valid")
+    # Overlap-add convolution: chunked FFTs sized to the template keep the
+    # cost O(N log M) for minutes-long captures instead of one giant FFT.
+    corr = signal.oaconvolve(x, template[::-1], mode="valid")
     # Local energy of x under the template window, via a cumulative sum.
     csum = np.concatenate([[0.0], np.cumsum(x * x)])
     local_energy = csum[template.size :] - csum[: -template.size]
@@ -70,16 +72,16 @@ def matched_filter_peak(
     denom = np.sqrt(np.maximum(local_energy * template_energy, 1e-20))
     score = corr / denom
 
-    order = np.argsort(score)[::-1]
+    # Threshold first, then sort only the (few) candidates — long quiet
+    # captures no longer pay an argsort over every sample position.
+    candidates = np.flatnonzero(score >= threshold)
+    order = candidates[np.argsort(score[candidates])[::-1]]
     peaks: list[tuple[int, float]] = []
     taken = np.zeros(score.size, dtype=bool)
     for idx in order:
-        s = float(score[idx])
-        if s < threshold:
-            break
         if taken[idx]:
             continue
-        peaks.append((int(idx), s))
+        peaks.append((int(idx), float(score[idx])))
         lo = max(0, idx - min_separation)
         hi = min(score.size, idx + min_separation)
         taken[lo:hi] = True

@@ -73,6 +73,24 @@ class ConvolutionalCode:
         self._branch_bits = branch
         # Bipolar form (+1 for bit 0, -1 for bit 1) for soft metrics.
         self._branch_bipolar = (1 - 2 * branch.astype(np.float64))
+        # A rate-1/n branch metric takes at most 2^n distinct values per
+        # bit time (one per output-bit pattern); decoding gathers them
+        # from a small combo table instead of a per-branch matmul.
+        weights = 1 << np.arange(self.n_out - 1, -1, -1)
+        self._branch_pattern = (
+            (branch.astype(np.int64) * weights).sum(axis=2).reshape(-1)
+        )  # (n_states * 2,) pattern index per branch, trellis order
+        patterns = (
+            (np.arange(1 << self.n_out)[:, None] >> np.arange(self.n_out - 1, -1, -1))
+            & 1
+        )
+        self._pattern_bipolar = (1.0 - 2.0 * patterns).T  # (n_out, 2^n_out)
+        # The MSB of the first polynomial taps the current input bit; when
+        # set, a clean hard-decision stream can be inverted algebraically.
+        self._invertible = bool((self.polys[0] >> (k - 1)) & 1)
+        self._poly0_feedback_taps = [
+            i for i in range(1, k) if (self.polys[0] >> (k - 1 - i)) & 1
+        ]
 
     # -- encoding ------------------------------------------------------------
 
@@ -133,10 +151,24 @@ class ConvolutionalCode:
         return self.decode_soft(soft, n_info_bits)
 
     def decode_soft(self, soft_bits: np.ndarray, n_info_bits: int) -> np.ndarray:
-        """Soft-decision Viterbi decode.
+        """Soft-decision Viterbi decode of one frame.
 
         ``soft_bits`` are bipolar amplitudes: positive values favour bit 0,
-        negative favour bit 1; magnitude expresses confidence.
+        negative favour bit 1; magnitude expresses confidence.  Runs the
+        batched kernel on a single row; bit-identical to
+        :meth:`decode_soft_ref`.
+        """
+        soft = np.asarray(soft_bits, dtype=np.float64)
+        if soft.ndim != 1:
+            raise ValueError(f"expected a 1-D soft bit vector, got {soft.shape}")
+        return self.decode_soft_batch(soft[None, :], n_info_bits)[0]
+
+    def decode_soft_ref(self, soft_bits: np.ndarray, n_info_bits: int) -> np.ndarray:
+        """Golden scalar Viterbi reference (the seed implementation).
+
+        One add-compare-select pass per bit time over a ``(n_states,)``
+        metric vector; kept as the model the property tests pin the
+        batched kernel against.
         """
         soft = np.asarray(soft_bits, dtype=np.float64)
         total = n_info_bits + self.constraint - 1
@@ -171,6 +203,9 @@ class ConvolutionalCode:
             state = int(preds[state, decisions[t, state]])
         return out[:n_info_bits]
 
+    #: frames decoded per kernel invocation (bounds the decision buffer)
+    _FRAME_CHUNK = 128
+
     def decode_soft_batch(
         self, soft_bits: np.ndarray, n_info_bits: int
     ) -> np.ndarray:
@@ -181,7 +216,15 @@ class ConvolutionalCode:
         but the add-compare-select recursion at each bit time runs over
         all frames simultaneously — the Python-level loop count no longer
         scales with the number of frames.  Identical output to
-        :meth:`decode_soft` row by row.
+        :meth:`decode_soft_ref` row by row.
+
+        The kernel exploits the trellis structure instead of gathering:
+        with ``ns = bit * 2^(K-2) + low`` the two predecessors of ``ns``
+        are ``2*low`` and ``2*low + 1`` regardless of ``bit``, so the
+        path-metric spread is a reshape broadcast, and all branch metrics
+        are precomputed in chunked matmuls rather than one small GEMV per
+        bit time.  Frames are processed in chunks so the decision buffer
+        stays bounded for fleet-sized batches.
         """
         soft = np.asarray(soft_bits, dtype=np.float64)
         if soft.ndim != 2:
@@ -194,31 +237,104 @@ class ConvolutionalCode:
                 f"got {soft.shape[1]}"
             )
         n = soft.shape[0]
-        symbols = soft.reshape(n, total, self.n_out)
+        out = np.empty((n, total), dtype=np.uint8)
 
+        # Fast path: when the hard decisions of a frame already form a
+        # valid codeword and no soft bit sits exactly on the slicer
+        # boundary, every competing codeword differs in >= dfree positions
+        # and each strictly lowers the correlation metric — the maximum-
+        # likelihood decision is forced, so the trellis search is provably
+        # redundant.  Clean broadcast frames (the common case) take this
+        # O(total) algebraic inversion instead of the full ACS recursion.
+        slow = np.arange(n)
+        if self._invertible:
+            hard = (soft < 0).astype(np.uint8)
+            inverted = self._invert_hard(hard.reshape(n, total, self.n_out)[:, :, 0])
+            clean = ~np.logical_or.reduce(soft == 0.0, axis=1)
+            np.logical_and(
+                clean,
+                (self.encode_batch(inverted[:, :n_info_bits]) == hard).all(axis=1)
+                if n_info_bits > 0
+                else False,
+                out=clean,
+            )
+            out[clean] = inverted[clean]
+            slow = np.nonzero(~clean)[0]
+
+        for i in range(0, slow.size, self._FRAME_CHUNK):
+            rows = slow[i : i + self._FRAME_CHUNK]
+            out[rows] = self._decode_soft_kernel(soft[rows], total)
+        return out[:, :n_info_bits]
+
+    def _invert_hard(self, hard0: np.ndarray) -> np.ndarray:
+        """Recover input bits from the first output stream's hard bits.
+
+        ``out0[t] = b[t] ^ (feedback taps of b[t-1..t-K+1])`` because the
+        first polynomial taps the current bit, so the information sequence
+        follows by forward substitution — one XOR per feedback tap per bit
+        time, vectorised over all frames.
+        """
+        n, total = hard0.shape
+        bits = np.zeros((n, total), dtype=np.uint8)
+        taps = self._poly0_feedback_taps
+        for t in range(total):
+            acc = hard0[:, t].copy()
+            for i in taps:
+                if i <= t:
+                    acc ^= bits[:, t - i]
+            bits[:, t] = acc
+        return bits
+
+    def _decode_soft_kernel(self, soft: np.ndarray, total: int) -> np.ndarray:
+        """Batched forward ACS + traceback over one frame chunk."""
+        n = soft.shape[0]
         s = self.n_states
+        half = s // 2
+        # (time, frame, coded-bit) layout, then one matmul for the 2^n_out
+        # distinct branch-metric values per (time, frame) — the full
+        # per-branch table would be s*2/2^n_out times larger and blow the
+        # cache for fleet-sized batches.
+        symbols = np.ascontiguousarray(
+            soft.reshape(n, total, self.n_out).transpose(1, 0, 2)
+        )
+        combos = (
+            symbols.reshape(total * n, self.n_out) @ self._pattern_bipolar
+        ).reshape(total, n, -1)
+        pattern = self._branch_pattern  # (s*2,) in trellis order
+
         metrics = np.full((n, s), -np.inf)
         metrics[:, 0] = 0.0  # every encoder starts zero-filled
-        decisions = np.empty((n, total, s), dtype=np.uint8)
-        preds = self._preds
-        # (s*2, n_out) so the branch metric is one matmul per bit time.
-        bipolar_flat = self._branch_bipolar.reshape(s * 2, self.n_out)
+        decisions = np.empty((total, n, 2, half), dtype=bool)
+        step = np.empty((n, s * 2))
+        cand = step.reshape(n, 2, half, 2)
 
         for t in range(total):
-            bm = symbols[:, t, :] @ bipolar_flat.T  # (n, s*2)
-            cand = metrics[:, preds] + bm.reshape(n, s, 2)  # (n, s, 2)
-            # argmax ties resolve to index 0, matching decode_soft.
-            choice = cand[:, :, 1] > cand[:, :, 0]
-            metrics = np.where(choice, cand[:, :, 1], cand[:, :, 0])
-            decisions[:, t] = choice
+            # Branch metrics for every branch: one cached gather.
+            np.take(combos[t], pattern, axis=1, out=step)
+            # Predecessors of ns = bit*half + low are 2*low and
+            # 2*low + 1 for both values of bit: a reshape, no gather.
+            cand += metrics.reshape(n, 1, half, 2)
+            c0 = cand[..., 0]
+            c1 = cand[..., 1]
+            # Strict > resolves ties to predecessor 0, matching the
+            # scalar reference's argmax.
+            np.greater(c1, c0, out=decisions[t])
+            np.maximum(c0, c1, out=metrics.reshape(n, 2, half))
 
+        # The flush bits force every encoder back to state 0; walk the
+        # survivors backwards.  State arithmetic replaces table gathers:
+        # input bit = ns >> (K-2), predecessor = 2*(ns & (half-1)) + choice.
+        shift = self.constraint - 2
+        low_mask = half - 1
         state = np.zeros(n, dtype=np.intp)
         rows = np.arange(n)
-        out = np.zeros((n, total), dtype=np.uint8)
+        out = np.empty((n, total), dtype=np.uint8)
+        dec_flat = decisions.reshape(total, n, s)
         for t in range(total - 1, -1, -1):
-            out[:, t] = self._input_bit[state]
-            state = preds[state, decisions[rows, t, state]]
-        return out[:, :n_info_bits]
+            out[:, t] = state >> shift
+            choice = dec_flat[t, rows, state]
+            state = ((state & low_mask) << 1) + choice
+        return out
 
 
 #: Quiet's ``v27``: K=7 rate-1/2 NASA-standard code.

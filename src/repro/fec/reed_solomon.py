@@ -255,14 +255,10 @@ class ReedSolomon:
                     f"capacity {self.nsym}"
                 )
         needs_chain = np.nonzero(synd.any(axis=1) & ok)[0]
-        for i in needs_chain:
-            try:
-                work[i], corrected[i] = self._decode_errata(
-                    work[i], synd[i], erasures[i]
-                )
-            except RSDecodeError as exc:
-                ok[i] = False
-                errors[i] = str(exc)
+        if needs_chain.size:
+            self._decode_errata_blocks(
+                work, synd, erasures, needs_chain, corrected, ok, errors
+            )
         return BlockDecodeReport(
             work[:, : length - self.nsym], corrected, ok, tuple(errors)
         )
@@ -340,6 +336,191 @@ class ReedSolomon:
         if self._syndromes_blocks(fixed[None, :]).any():
             raise RSDecodeError("residual syndromes after correction")
         return fixed, len(erase_pos) + len(err_pos)
+
+    def _decode_errata_blocks(
+        self,
+        work: np.ndarray,
+        synd: np.ndarray,
+        erasures: list[list[int]],
+        rows: np.ndarray,
+        corrected: np.ndarray,
+        ok: np.ndarray,
+        errors: list[str | None],
+    ) -> None:
+        """Run the errata chain over every flagged block at once.
+
+        Mirrors :meth:`_decode_errata` stage by stage — Forney-syndrome
+        fold, Berlekamp-Massey, Chien search, Forney magnitudes, residual
+        check — but each stage is numpy table gathers over the whole
+        batch.  Polynomials live in fixed-width lowest-degree-first
+        arrays with an explicit *formal length* per block (the scalar
+        path's list length, leading zeros included), which is what the
+        BM swap condition compares.  Blocks that fail a stage drop out of
+        the batch with the same error strings the scalar path raises;
+        the rest are corrected in ``work`` in place.
+        """
+        table = GF.mul_table
+        nsym = self.nsym
+        nmess = work.shape[1]
+
+        idx = np.asarray(rows, dtype=np.int64)
+        ecnt = np.array([len(erasures[i]) for i in idx], dtype=np.int64)
+        w_era = max(int(ecnt.max()), 1)
+        era = np.zeros((idx.size, w_era), dtype=np.int64)
+        for r, i in enumerate(idx):
+            era[r, : len(erasures[i])] = erasures[i]
+
+        # -- Forney syndromes: fold erasures out, one pass per slot ------
+        srows = synd[idx].astype(np.intp)
+        fsynd = srows.copy()
+        for k in range(int(ecnt.max())):
+            live = (k < ecnt)[:, None]
+            x = GF.exp_vec(nmess - 1 - era[:, k]).astype(np.intp)
+            folded = table[fsynd[:, :-1], x[:, None]] ^ fsynd[:, 1:]
+            fsynd[:, :-1] = np.where(live, folded, fsynd[:, :-1])
+
+        # -- Berlekamp-Massey with per-block iteration counts ------------
+        width = nsym + 2  # formal lengths never exceed nsym + 1
+        loc = np.zeros((idx.size, width), dtype=np.intp)
+        old = np.zeros((idx.size, width), dtype=np.intp)
+        loc[:, 0] = 1
+        old[:, 0] = 1
+        err_len = np.ones(idx.size, dtype=np.int64)
+        old_len = np.ones(idx.size, dtype=np.int64)
+        iters = nsym - ecnt
+        delta = np.zeros(idx.size, dtype=np.intp)
+        for i in range(int(iters.max())):
+            active = i < iters
+            delta[:] = 0
+            for j in range(min(i + 1, width)):
+                delta ^= table[loc[:, j], fsynd[:, i - j]]
+            shifted = np.zeros_like(old)  # old <- old + [0]
+            shifted[:, 1:] = old[:, :-1]
+            old = np.where(active[:, None], shifted, old)
+            old_len = old_len + active
+            upd = active & (delta != 0)
+            swap = upd & (old_len > err_len)
+            sw = swap[:, None]
+            inv_d = GF.inv_vec(np.where(delta == 0, 1, delta)).astype(np.intp)
+            loc, old = (
+                np.where(sw, table[old, delta[:, None]], loc),
+                np.where(sw, table[loc, inv_d[:, None]], old),
+            )
+            err_len, old_len = (
+                np.where(swap, old_len, err_len),
+                np.where(swap, err_len, old_len),
+            )
+            d_old = table[old, delta[:, None]]
+            loc = np.where(upd[:, None], loc ^ d_old, loc)
+            err_len = np.where(upd, np.maximum(err_len, old_len), err_len)
+
+        # Formal degree = highest nonzero coefficient (loc[:, 0] is 1).
+        support = (loc != 0) & (np.arange(width)[None, :] < err_len[:, None])
+        errs = (width - 1) - np.argmax(support[:, ::-1], axis=1)
+
+        bad = errs * 2 + ecnt > nsym
+        for r in np.nonzero(bad)[0]:
+            ok[idx[r]] = False
+            errors[idx[r]] = (
+                f"{errs[r]} errors + {ecnt[r]} erasures exceed capacity {nsym}"
+            )
+        alive = ~bad
+        if not alive.any():
+            return
+        idx, ecnt, era, errs = idx[alive], ecnt[alive], era[alive], errs[alive]
+        loc, srows = loc[alive], srows[alive]
+
+        # -- Chien search: evaluate the locator at alpha^0..alpha^(L-1) --
+        # loc is the reversed locator plus a power-of-x factor from the
+        # fixed width, which shifts no roots.
+        points = GF.exp_vec(np.arange(nmess)).astype(np.intp)
+        acc = np.zeros((idx.size, nmess), dtype=np.intp)
+        for j in range(width):
+            acc = table[acc, points[None, :]] ^ loc[:, j : j + 1]
+        is_root = acc == 0
+        bad = is_root.sum(axis=1) != errs
+        for r in np.nonzero(bad)[0]:
+            ok[idx[r]] = False
+            errors[idx[r]] = (
+                "could not locate all errors (beyond correction capacity)"
+            )
+        alive = ~bad
+        if not alive.any():
+            return
+        idx, ecnt, era, errs = idx[alive], ecnt[alive], era[alive], errs[alive]
+        srows, is_root = srows[alive], is_root[alive]
+
+        # -- Forney magnitudes over the padded errata-position matrix ----
+        e_tot = ecnt + errs
+        e_max = max(int(e_tot.max()), 1)
+        slots = np.arange(e_max)[None, :]
+        epos = np.zeros((idx.size, e_max), dtype=np.int64)
+        w = min(era.shape[1], e_max)  # dropped rows may have shrunk e_max
+        emask = slots[:, :w] < ecnt[:, None]
+        epos[:, :w][emask] = era[:, :w][emask]
+        rr, cc = np.nonzero(is_root)
+        epos[rr, ecnt[rr] + (np.arange(rr.size) - np.searchsorted(rr, rr))] = (
+            nmess - 1 - cc
+        )
+
+        valid = slots < e_tot[:, None]
+        coef = nmess - 1 - epos
+        xs = np.where(valid, GF.exp_vec(coef), 0).astype(np.intp)
+        xs_inv = np.where(valid, GF.exp_vec(-coef), 0).astype(np.intp)
+
+        # Errata locator lambda(x) = prod (1 + X_k x), lowest degree first.
+        lam = np.zeros((idx.size, e_max + 1), dtype=np.intp)
+        lam[:, 0] = 1
+        for k in range(e_max):
+            live = (k < e_tot)[:, None]
+            nxt = lam.copy()
+            nxt[:, 1:] ^= table[lam[:, :-1], xs[:, k][:, None]]
+            lam = np.where(live, nxt, lam)
+
+        # omega = x*S(x)*lambda(x) mod x^(e+1), truncated per block.
+        omega = np.zeros((idx.size, e_max + 1), dtype=np.intp)
+        for j in range(1, e_max + 1):
+            for b in range(j):
+                omega[:, j] ^= table[lam[:, b], srows[:, j - 1 - b]]
+        omega = np.where(np.arange(e_max + 1)[None, :] <= e_tot[:, None], omega, 0)
+
+        # Denominator prod_{j != i} (1 + Xinv_i X_j); pads contribute 1.
+        terms = table[xs_inv[:, :, None], xs[:, None, :]].astype(np.intp) ^ 1
+        force_one = np.eye(e_max, dtype=bool)[None, :, :] | ~valid[:, None, :]
+        terms = np.where(force_one, 1, terms)
+        lp = np.ones((idx.size, e_max), dtype=np.intp)
+        for j in range(e_max):
+            lp = table[lp, terms[:, :, j]]
+        bad = ((lp == 0) & valid).any(axis=1)
+        for r in np.nonzero(bad)[0]:
+            ok[idx[r]] = False
+            errors[idx[r]] = "Forney denominator vanished"
+        alive = ~bad
+        if not alive.any():
+            return
+        idx, e_tot, epos = idx[alive], e_tot[alive], epos[alive]
+        xs, xs_inv, omega, lp = xs[alive], xs_inv[alive], omega[alive], lp[alive]
+        valid = valid[alive]
+
+        # y_i = X_i * omega(Xinv_i); magnitude = y_i / lp_i.
+        ev = np.zeros_like(lp)
+        for j in range(e_max, -1, -1):
+            ev = table[ev, xs_inv] ^ omega[:, j : j + 1]
+        y = table[xs, ev]
+        mag = table[y.astype(np.intp), GF.inv_vec(lp).astype(np.intp)]
+
+        cand = work[idx].copy()
+        for k in range(e_max):
+            r = np.nonzero(k < e_tot)[0]
+            cand[r, epos[r, k]] ^= mag[r, k]
+
+        bad = self._syndromes_blocks(cand).any(axis=1)
+        for r in np.nonzero(bad)[0]:
+            ok[idx[r]] = False
+            errors[idx[r]] = "residual syndromes after correction"
+        good = ~bad
+        work[idx[good]] = cand[good]
+        corrected[idx[good]] = e_tot[good]
 
     @staticmethod
     def _find_errors_vec(err_loc_rev: list[int], nmess: int) -> list[int]:

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.dsp.chirp import linear_chirp, matched_filter_peak
 from repro.modem.frame import FrameCodec
-from repro.modem.ofdm import OfdmPhy
+from repro.modem.ofdm import OfdmPhy, strided_symbol_windows
 from repro.modem.profiles import ModemProfile, get_profile
 
 __all__ = ["Modem", "ReceivedFrame"]
@@ -166,10 +166,15 @@ class Modem:
             threshold=sync_threshold,
             min_separation=self._preamble.size,
         )
-        results: list[ReceivedFrame] = []
+        results: list[ReceivedFrame | None] = []
         offset = self._preamble.size + self.profile.guard_samples
         sym_len = self.profile.ofdm.symbol_len
         per_frame = self._n_payload_symbols
+        # Demap every burst first, then FEC-decode the whole capture's
+        # frames in one batched pass; losses stay per-frame (None).
+        soft_chunks: list[np.ndarray] = []
+        slots: list[int] = []
+        frame_meta: list[tuple[int, float, float]] = []
         for i, (start, score) in enumerate(peaks):
             frame_start = start + offset
             limit = peaks[i + 1][0] if i + 1 < len(peaks) else samples.size
@@ -190,15 +195,28 @@ class Modem:
             except ValueError:
                 results.append(ReceivedFrame(None, start, -np.inf, score))
                 continue
-            # Demap the whole burst's symbols at once, then FEC-decode all
-            # frames in one batched pass; losses stay per-frame (None).
-            soft = self.phy.constellation.demap_soft(
-                demod.data_symbols.reshape(-1), demod.noise_var
-            ).reshape(n_frames, -1)
-            for payload in self.codec.decode_batch(soft):
-                results.append(
-                    ReceivedFrame(payload, start, demod.snr_db, score)
+            soft_chunks.append(
+                self.phy.constellation.demap_soft(
+                    demod.data_symbols.reshape(-1), demod.noise_var
+                ).reshape(n_frames, -1)
+            )
+            for j in range(n_frames):
+                # The burst's first frame reports the preamble position;
+                # later frames report where their own payload symbols
+                # start (training symbol + j frames of symbols in).
+                frame_index = (
+                    start if j == 0
+                    else frame_start + (1 + j * per_frame) * sym_len
                 )
+                slots.append(len(results))
+                frame_meta.append((frame_index, demod.snr_db, score))
+                results.append(None)
+        if soft_chunks:
+            payloads = self.codec.decode_batch(np.concatenate(soft_chunks))
+            for slot, (frame_index, snr_db, score), payload in zip(
+                slots, frame_meta, payloads
+            ):
+                results[slot] = ReceivedFrame(payload, frame_index, snr_db, score)
         return results
 
     def _count_active_symbols(
@@ -207,19 +225,23 @@ class Modem:
         """Count contiguous symbol slots (after training) with in-band energy."""
         cfg = self.profile.ofdm
         bins = cfg.active_bins
+        first = frame_start + cfg.cp_len
+        # Band energy of training + payload slots via one strided view and
+        # one batched FFT; slots whose window overruns the buffer score 0.
+        n_full = (samples.size - first - cfg.fft_size) // cfg.symbol_len + 1
+        n_full = max(0, min(max_symbols + 1, n_full))
+        energies = np.zeros(max_symbols + 1)
+        if n_full:
+            windows = strided_symbol_windows(
+                samples, first, n_full, cfg.symbol_len, cfg.fft_size
+            )
+            spectra = np.fft.rfft(windows, axis=1)[:, bins]
+            energies[:n_full] = np.sum(np.abs(spectra) ** 2, axis=1)
 
-        def band_energy(sym_index: int) -> float:
-            base = frame_start + sym_index * cfg.symbol_len + cfg.cp_len
-            window = samples[base : base + cfg.fft_size]
-            if window.size < cfg.fft_size:
-                return 0.0
-            return float(np.sum(np.abs(np.fft.rfft(window)[bins]) ** 2))
-
-        reference = band_energy(0)  # training symbol
+        reference = energies[0]  # training symbol
         if reference <= 0:
             return 0
-        energies = np.array([band_energy(i) for i in range(1, max_symbols + 1)])
-        above = np.nonzero(energies >= 0.25 * reference)[0]
+        above = np.nonzero(energies[1:] >= 0.25 * reference)[0]
         if above.size == 0:
             return 0
         # Bursts are contiguous, so everything up to the last energetic

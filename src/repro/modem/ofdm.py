@@ -17,7 +17,26 @@ import numpy as np
 from repro.modem.constellation import Constellation
 from repro.util.rng import derive_rng
 
-__all__ = ["OfdmConfig", "OfdmPhy", "OfdmDemodResult"]
+__all__ = ["OfdmConfig", "OfdmPhy", "OfdmDemodResult", "strided_symbol_windows"]
+
+
+def strided_symbol_windows(
+    samples: np.ndarray, start: int, n: int, stride: int, width: int
+) -> np.ndarray:
+    """Zero-copy ``(n, width)`` read-only view of windows ``stride`` apart.
+
+    The caller must guarantee ``start + (n - 1) * stride + width`` fits in
+    ``samples`` — this is a raw stride trick, not a checked gather.  Used
+    to hand every OFDM symbol window of a burst to one batched FFT.
+    """
+    base = np.ascontiguousarray(samples, dtype=np.float64)[start:]
+    itemsize = base.strides[0]
+    return np.lib.stride_tricks.as_strided(
+        base,
+        shape=(n, width),
+        strides=(stride * itemsize, itemsize),
+        writeable=False,
+    )
 
 
 @dataclass(frozen=True)
@@ -186,10 +205,12 @@ class OfdmPhy:
         if start < 0 or needed > samples.size:
             raise ValueError("sample buffer too short for requested symbols")
 
-        # One strided gather + batched FFT covers the training symbol and
-        # every payload symbol; the per-symbol Python loop is gone.
-        bases = start + np.arange(n_symbols + 1) * cfg.symbol_len + cfg.cp_len
-        windows = samples[bases[:, None] + np.arange(cfg.fft_size)[None, :]]
+        # One zero-copy strided view + batched FFT covers the training
+        # symbol and every payload symbol; neither a per-symbol Python
+        # loop nor a fancy-indexed intermediate copy.
+        windows = strided_symbol_windows(
+            samples, start + cfg.cp_len, n_symbols + 1, cfg.symbol_len, cfg.fft_size
+        )
         spectra = np.fft.rfft(windows, axis=1)[:, cfg.active_bins] / self._scale
 
         # Channel estimate from the training symbol.

@@ -4,6 +4,7 @@ from repro.sim.clock import SimClock
 from repro.sim.geometry import Location, distance_km
 from repro.sim.workload import BroadcastWorkload, WorkloadConfig, PageSizeModel
 from repro.sim.userstudy import UserStudy, StudyConfig, RatingRecord
+from repro.sim.receivers import FleetConfig, FleetResult, ReceiverReport, run_fleet
 
 __all__ = [
     "SimClock",
@@ -15,4 +16,8 @@ __all__ = [
     "UserStudy",
     "StudyConfig",
     "RatingRecord",
+    "FleetConfig",
+    "FleetResult",
+    "ReceiverReport",
+    "run_fleet",
 ]

@@ -1,0 +1,208 @@
+"""Parallel multi-receiver fleet simulation.
+
+SONIC's evaluation sweeps loss/SNR grids over many receivers all tuned
+to the *same* broadcast — the transmit side is one waveform, the receive
+side is N independent radios, each behind its own channel realisation.
+This module fans a shared broadcast waveform out to a fleet of simulated
+receivers across a ``multiprocessing`` pool:
+
+* the waveform lives once in a read-only ``shared_memory`` buffer, so a
+  minutes-long broadcast is not pickled per worker;
+* every receiver draws its channel impairment from
+  ``derive_rng(master_seed, "fleet-rx", idx)``, which makes the fleet's
+  loss maps identical whether it runs serially or on the pool; and
+* each worker process builds one :class:`~repro.modem.modem.Modem` at
+  start-up and reuses it for every receiver it simulates.
+
+The per-receiver loss maps feed the existing workload/user-study layers
+exactly like a single :meth:`Modem.receive` call would.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.modem.modem import Modem
+from repro.radio.channels import AcousticChannel
+from repro.util.rng import derive_rng
+
+__all__ = ["FleetConfig", "ReceiverReport", "FleetResult", "run_fleet"]
+
+IMPAIRMENTS = ("clean", "awgn", "acoustic")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet run: who listens, through what channel, to which profile."""
+
+    n_receivers: int = 8
+    master_seed: int = 0
+    profile: str = "sonic-ofdm"
+    impairment: str = "awgn"  # one of IMPAIRMENTS
+    frames_per_burst: int | None = 16
+    # AWGN impairment: per-receiver SNR drawn uniformly from
+    # [snr_db - snr_spread_db/2, snr_db + snr_spread_db/2].
+    snr_db: float = 14.0
+    snr_spread_db: float = 6.0
+    # Acoustic impairment: per-receiver speaker-mic distance drawn the
+    # same way around distance_m.
+    distance_m: float = 0.9
+    distance_spread_m: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.n_receivers < 1:
+            raise ValueError("fleet needs at least one receiver")
+        if self.impairment not in IMPAIRMENTS:
+            raise ValueError(
+                f"impairment must be one of {IMPAIRMENTS}, got {self.impairment!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ReceiverReport:
+    """Decode outcome of one receiver in the fleet."""
+
+    receiver_id: int
+    channel_param: float  # realised SNR (dB) or distance (m); 0 for clean
+    n_frames: int  # frames detected
+    n_ok: int  # frames that decoded and passed CRC
+    loss_map: tuple[bool, ...]  # True = lost, per detected frame
+
+    @property
+    def frame_loss_rate(self) -> float:
+        return 1.0 - self.n_ok / self.n_frames if self.n_frames else 1.0
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Aggregate outcome of :func:`run_fleet`."""
+
+    reports: tuple[ReceiverReport, ...]
+    processes: int
+    elapsed_s: float
+
+    @property
+    def n_receivers(self) -> int:
+        return len(self.reports)
+
+    @property
+    def receivers_per_s(self) -> float:
+        return self.n_receivers / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def mean_loss_rate(self) -> float:
+        return float(np.mean([r.frame_loss_rate for r in self.reports]))
+
+    def loss_maps(self) -> list[tuple[bool, ...]]:
+        return [r.loss_map for r in self.reports]
+
+
+def _impair(
+    waveform: np.ndarray, config: FleetConfig, idx: int
+) -> tuple[np.ndarray, float]:
+    """Apply receiver ``idx``'s channel draw; returns (audio, parameter).
+
+    All randomness is keyed on ``(master_seed, "fleet-rx", idx)`` only, so
+    the realisation does not depend on which process runs the receiver.
+    """
+    rng = derive_rng(config.master_seed, "fleet-rx", idx)
+    if config.impairment == "clean":
+        return waveform, 0.0
+    if config.impairment == "awgn":
+        snr_db = config.snr_db + config.snr_spread_db * (rng.random() - 0.5)
+        signal_power = float(np.mean(waveform**2)) if waveform.size else 0.0
+        noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+        noisy = waveform + rng.normal(0.0, np.sqrt(noise_power), waveform.size)
+        return noisy, snr_db
+    distance = config.distance_m + config.distance_spread_m * (rng.random() - 0.5)
+    distance = max(0.0, distance)
+    channel = AcousticChannel(seed=int(rng.integers(0, 2**31 - 1)))
+    return channel.transmit(waveform, distance), distance
+
+
+def _receive_one(
+    waveform: np.ndarray, modem: Modem, config: FleetConfig, idx: int
+) -> ReceiverReport:
+    audio, param = _impair(waveform, config, idx)
+    frames = modem.receive(audio, frames_per_burst=config.frames_per_burst)
+    loss_map = tuple(not f.ok for f in frames)
+    return ReceiverReport(
+        receiver_id=idx,
+        channel_param=float(param),
+        n_frames=len(frames),
+        n_ok=int(sum(f.ok for f in frames)),
+        loss_map=loss_map,
+    )
+
+
+# Per-worker state: attached shared waveform + a reusable Modem.  Plain
+# module globals — each pool worker initialises its own copy.
+_worker_wave: np.ndarray | None = None
+_worker_modem: Modem | None = None
+_worker_shm: shared_memory.SharedMemory | None = None
+
+
+def _init_worker(shm_name: str, n_samples: int, profile: str) -> None:
+    global _worker_wave, _worker_modem, _worker_shm
+    _worker_shm = shared_memory.SharedMemory(name=shm_name)
+    _worker_wave = np.ndarray(
+        (n_samples,), dtype=np.float64, buffer=_worker_shm.buf
+    )
+    _worker_modem = Modem(profile)
+
+
+def _run_worker(args: tuple[FleetConfig, int]) -> ReceiverReport:
+    config, idx = args
+    assert _worker_wave is not None and _worker_modem is not None
+    return _receive_one(_worker_wave, _worker_modem, config, idx)
+
+
+def run_fleet(
+    waveform: np.ndarray,
+    config: FleetConfig = FleetConfig(),
+    processes: int | None = None,
+) -> FleetResult:
+    """Simulate ``config.n_receivers`` receivers of one broadcast.
+
+    ``processes=None`` picks ``min(n_receivers, cpu_count)``;
+    ``processes<=1`` runs serially in this process (bit-identical loss
+    maps either way, by construction of the per-receiver seeds).
+    """
+    waveform = np.ascontiguousarray(waveform, dtype=np.float64)
+    if processes is None:
+        processes = min(config.n_receivers, os.cpu_count() or 1)
+    processes = max(1, int(processes))
+
+    t0 = time.perf_counter()
+    if processes == 1:
+        modem = Modem(config.profile)
+        reports = [
+            _receive_one(waveform, modem, config, idx)
+            for idx in range(config.n_receivers)
+        ]
+        return FleetResult(tuple(reports), 1, time.perf_counter() - t0)
+
+    shm = shared_memory.SharedMemory(create=True, size=max(waveform.nbytes, 1))
+    try:
+        shared = np.ndarray(waveform.shape, dtype=np.float64, buffer=shm.buf)
+        shared[:] = waveform
+        with multiprocessing.Pool(
+            processes,
+            initializer=_init_worker,
+            initargs=(shm.name, waveform.size, config.profile),
+        ) as pool:
+            reports = pool.map(
+                _run_worker,
+                [(config, idx) for idx in range(config.n_receivers)],
+                chunksize=max(1, config.n_receivers // (4 * processes)),
+            )
+    finally:
+        shm.close()
+        shm.unlink()
+    return FleetResult(tuple(reports), processes, time.perf_counter() - t0)

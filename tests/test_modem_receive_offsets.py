@@ -1,0 +1,124 @@
+"""Receiver burst delineation: per-frame offsets and active-symbol count."""
+
+import numpy as np
+import pytest
+
+from repro.modem.modem import Modem
+from repro.modem.ofdm import strided_symbol_windows
+
+
+@pytest.fixture(scope="module")
+def modem() -> Modem:
+    return Modem("sonic-ofdm")
+
+
+@pytest.fixture(scope="module")
+def burst(modem) -> tuple[np.ndarray, list[bytes]]:
+    rng = np.random.default_rng(41)
+    payloads = [
+        rng.integers(0, 256, modem.frame_payload_size, dtype=np.uint8).tobytes()
+        for _ in range(5)
+    ]
+    return modem.transmit_burst(payloads), payloads
+
+
+class TestPerFrameStartIndex:
+    def test_frames_report_their_own_offsets(self, modem, burst):
+        """Frames after the first must carry their true sample offsets,
+        not the burst preamble position."""
+        wave, payloads = burst
+        received = modem.receive(wave, frames_per_burst=len(payloads))
+        assert [f.payload for f in received] == payloads
+
+        starts = [f.start_index for f in received]
+        assert len(set(starts)) == len(starts)
+        assert starts == sorted(starts)
+
+        # Frame 0 reports the preamble position; frame j > 0 the start of
+        # its own payload symbols (training + j frames of symbols in).
+        sym_len = modem.profile.ofdm.symbol_len
+        per_frame = modem._n_payload_symbols
+        preamble_pos = starts[0]
+        frame_start = preamble_pos + modem._preamble.size + modem.profile.guard_samples
+        for j in range(1, len(starts)):
+            assert starts[j] == frame_start + (1 + j * per_frame) * sym_len
+
+    def test_single_frame_unchanged(self, modem):
+        payload = bytes(range(100))
+        wave = modem.transmit_frame(payload)
+        received = modem.receive(wave)
+        assert len(received) == 1
+        assert received[0].payload == payload
+
+    def test_multi_burst_offsets_stay_ordered(self, modem):
+        rng = np.random.default_rng(43)
+        payloads = [
+            rng.integers(0, 256, 100, dtype=np.uint8).tobytes() for _ in range(4)
+        ]
+        gap = np.zeros(modem.profile.guard_samples)
+        wave = np.concatenate(
+            [
+                modem.transmit_burst(payloads[:2]),
+                gap,
+                modem.transmit_burst(payloads[2:]),
+            ]
+        )
+        received = modem.receive(wave, frames_per_burst=2)
+        assert [f.payload for f in received] == payloads
+        starts = [f.start_index for f in received]
+        assert starts == sorted(starts) and len(set(starts)) == 4
+
+
+class TestActiveSymbolCount:
+    def test_burst_size_inferred_without_hint(self, modem, burst):
+        wave, payloads = burst
+        received = modem.receive(wave)  # no frames_per_burst hint
+        assert [f.payload for f in received] == payloads
+
+    def test_vectorised_count_matches_per_symbol_loop(self, modem, burst):
+        """The one-FFT band-energy scan must agree with the seed's
+        per-symbol loop."""
+        wave, _ = burst
+        cfg = modem.profile.ofdm
+        offset = modem._preamble.size + modem.profile.guard_samples
+        frame_start = offset  # burst starts at sample 0
+        max_symbols = (wave.size - frame_start) // cfg.symbol_len - 1
+
+        def band_energy(sym_index: int) -> float:
+            base = frame_start + sym_index * cfg.symbol_len + cfg.cp_len
+            window = wave[base : base + cfg.fft_size]
+            if window.size < cfg.fft_size:
+                return 0.0
+            return float(
+                np.sum(np.abs(np.fft.rfft(window)[cfg.active_bins]) ** 2)
+            )
+
+        reference = band_energy(0)
+        energies = np.array([band_energy(i) for i in range(1, max_symbols + 1)])
+        above = np.nonzero(energies >= 0.25 * reference)[0]
+        expected = int(above[-1]) + 1 if above.size else 0
+
+        assert modem._count_active_symbols(wave, frame_start, max_symbols) == expected
+        assert expected == 5 * modem._n_payload_symbols
+
+    def test_silence_counts_zero(self, modem):
+        wave = np.zeros(modem.frame_samples)
+        assert modem._count_active_symbols(wave, 0, 4) == 0
+
+
+class TestStridedWindows:
+    def test_view_matches_fancy_indexing(self):
+        samples = np.arange(1000, dtype=np.float64)
+        view = strided_symbol_windows(samples, start=7, n=9, stride=100, width=64)
+        bases = 7 + np.arange(9) * 100
+        expected = samples[bases[:, None] + np.arange(64)[None, :]]
+        assert view.shape == (9, 64)
+        assert (view == expected).all()
+
+    def test_view_is_read_only_and_zero_copy(self):
+        samples = np.zeros(500)
+        view = strided_symbol_windows(samples, 0, 4, 100, 80)
+        with pytest.raises(ValueError):
+            view[0, 0] = 1.0
+        samples[100] = 42.0
+        assert view[1, 0] == 42.0  # shares the caller's buffer

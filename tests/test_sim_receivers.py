@@ -1,0 +1,129 @@
+"""Receiver-fleet harness: determinism, impairments, and pool behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.modem.modem import Modem
+from repro.sim.receivers import FleetConfig, ReceiverReport, run_fleet
+
+
+@pytest.fixture(scope="module")
+def broadcast() -> np.ndarray:
+    modem = Modem("sonic-ofdm")
+    rng = np.random.default_rng(31)
+    payloads = [
+        rng.integers(0, 256, modem.frame_payload_size, dtype=np.uint8).tobytes()
+        for _ in range(6)
+    ]
+    return modem.transmit_burst(payloads)
+
+
+class TestDeterminism:
+    def test_serial_equals_pool(self, broadcast):
+        """Same master seed => identical per-receiver loss maps, whether
+        the fleet runs in-process or across the multiprocessing pool."""
+        config = FleetConfig(
+            n_receivers=4,
+            master_seed=77,
+            impairment="awgn",
+            snr_db=9.0,  # low enough that losses actually occur
+            snr_spread_db=8.0,
+            frames_per_burst=6,
+        )
+        serial = run_fleet(broadcast, config, processes=1)
+        pooled = run_fleet(broadcast, config, processes=2)
+        assert serial.loss_maps() == pooled.loss_maps()
+        assert [r.channel_param for r in serial.reports] == [
+            r.channel_param for r in pooled.reports
+        ]
+        assert pooled.processes == 2
+
+    def test_rerun_is_identical(self, broadcast):
+        config = FleetConfig(
+            n_receivers=3, master_seed=5, impairment="awgn", frames_per_burst=6
+        )
+        first = run_fleet(broadcast, config, processes=1)
+        again = run_fleet(broadcast, config, processes=1)
+        assert first.loss_maps() == again.loss_maps()
+
+    def test_master_seed_changes_realisations(self, broadcast):
+        a = run_fleet(
+            broadcast,
+            FleetConfig(n_receivers=3, master_seed=1, frames_per_burst=6),
+            processes=1,
+        )
+        b = run_fleet(
+            broadcast,
+            FleetConfig(n_receivers=3, master_seed=2, frames_per_burst=6),
+            processes=1,
+        )
+        assert [r.channel_param for r in a.reports] != [
+            r.channel_param for r in b.reports
+        ]
+
+
+class TestImpairments:
+    def test_clean_fleet_decodes_everything(self, broadcast):
+        result = run_fleet(
+            broadcast,
+            FleetConfig(n_receivers=2, impairment="clean", frames_per_burst=6),
+            processes=1,
+        )
+        assert result.mean_loss_rate == 0.0
+        for report in result.reports:
+            assert report.n_frames == 6
+            assert report.loss_map == (False,) * 6
+            assert report.frame_loss_rate == 0.0
+
+    def test_awgn_snr_draws_spread_around_mean(self, broadcast):
+        result = run_fleet(
+            broadcast,
+            FleetConfig(
+                n_receivers=8,
+                impairment="awgn",
+                snr_db=20.0,
+                snr_spread_db=4.0,
+                frames_per_burst=6,
+            ),
+            processes=1,
+        )
+        snrs = [r.channel_param for r in result.reports]
+        assert all(18.0 <= s <= 22.0 for s in snrs)
+        assert len(set(snrs)) == len(snrs)  # independent draws
+
+    def test_acoustic_distance_parameter(self, broadcast):
+        result = run_fleet(
+            broadcast,
+            FleetConfig(
+                n_receivers=2,
+                impairment="acoustic",
+                distance_m=0.1,
+                distance_spread_m=0.1,
+                frames_per_burst=6,
+            ),
+            processes=1,
+        )
+        for report in result.reports:
+            assert 0.0 <= report.channel_param <= 0.2
+
+
+class TestConfigAndReports:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(n_receivers=0)
+        with pytest.raises(ValueError):
+            FleetConfig(impairment="carrier-pigeon")
+
+    def test_loss_rate_of_empty_receiver(self):
+        report = ReceiverReport(0, 0.0, 0, 0, ())
+        assert report.frame_loss_rate == 1.0
+
+    def test_result_accounting(self, broadcast):
+        result = run_fleet(
+            broadcast,
+            FleetConfig(n_receivers=3, impairment="clean", frames_per_burst=6),
+            processes=1,
+        )
+        assert result.n_receivers == 3
+        assert result.elapsed_s > 0
+        assert result.receivers_per_s > 0
