@@ -1,0 +1,141 @@
+"""Throughput benchmarks for the batch SWebp decoder and catalog pipeline.
+
+Times the imaging layer this PR vectorised — the table-driven batch
+entropy decoder against the retained scalar ``decode_ref`` — and the
+store-backed catalog render/encode pipeline (cold vs warm), and merges
+the numbers into the same ``BENCH_pipeline.json`` the pipeline
+benchmarks write.
+
+Run explicitly:
+
+    python -m repro bench -k "imaging or catalog"
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import full_scale, print_table
+from repro.imaging.codec import SWebpCodec
+from repro.server.catalog import CatalogConfig, CatalogPipeline
+from repro.web.render import PageRenderer
+from repro.web.sites import SiteGenerator
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_JSON = REPO_ROOT / "BENCH_pipeline.json"
+
+
+def _merge_section(name: str, section: dict) -> None:
+    data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+    data[name] = section
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestSWebpDecodeThroughput:
+    def test_batch_vs_ref_decode(self):
+        """Batch decode vs the scalar walk on a rendered catalog page.
+
+        The spec (seed 42, 4 sites, 1080px wide, Q10) matches the
+        ``repro bench --smoke`` imaging gate — keep the two in sync.
+        """
+        max_height = 4000 if full_scale() else 1600
+        generator = SiteGenerator(seed=42, n_sites=4)
+        renderer = PageRenderer(width=1080, max_height=max_height)
+        image = renderer.render(generator.page(generator.all_urls()[0], 0)).image
+        codec = SWebpCodec(10)
+        encoded = codec.encode(image)
+
+        decoded = codec.decode(encoded)  # warm-up
+        reference = codec.decode_ref(encoded)
+        assert np.array_equal(decoded, reference)  # bit-for-bit pinned
+
+        t_fast = _best_of(lambda: codec.decode(encoded))
+        t_ref = _best_of(lambda: codec.decode_ref(encoded), repeats=1)
+        t_encode = _best_of(lambda: codec.encode(image), repeats=1)
+
+        megapixels = image.shape[0] * image.shape[1] / 1e6
+        section = {
+            "page_shape": list(image.shape),
+            "encoded_bytes": len(encoded),
+            "quality": 10,
+            "encode_pages_per_s": 1.0 / t_encode,
+            "decode_pages_per_s": 1.0 / t_fast,
+            "decode_ref_pages_per_s": 1.0 / t_ref,
+            "decode_speedup": t_ref / t_fast,
+            "decode_megapixels_per_s": megapixels / t_fast,
+        }
+        _merge_section("imaging", section)
+        print_table(
+            f"SWebp decode ({image.shape[0]}x{image.shape[1]} page, Q10)",
+            ["path", "pages/s", "Mpx/s", "speedup"],
+            [
+                ["batch decode", f"{1.0 / t_fast:.1f}",
+                 f"{megapixels / t_fast:.1f}", f"{t_ref / t_fast:.1f}x"],
+                ["decode_ref", f"{1.0 / t_ref:.2f}",
+                 f"{megapixels / t_ref:.2f}", "1.0x"],
+            ],
+        )
+        # The PR's acceptance bar: >= 10x over the scalar reference.
+        assert section["decode_speedup"] >= 10.0
+
+
+class TestCatalogThroughput:
+    def test_cold_vs_warm_and_pool_determinism(self):
+        """Store-backed catalog pipeline: cold encode, warm reuse, pool parity.
+
+        The spec (seed 42, 2 sites, 360px wide, Q10) matches the
+        ``repro bench --smoke`` catalog gate — keep the two in sync.
+        """
+        config = CatalogConfig(
+            seed=42, n_sites=2, width=360, max_height=1200, quality=10
+        )
+        pipeline = CatalogPipeline(config)
+        cold = pipeline.encode_catalog(hour=0, processes=1)
+        warm = pipeline.encode_catalog(hour=0, processes=1)
+        assert warm.store_hits == warm.n_pages  # warm run never re-encodes
+        assert [p.data for p in warm.pages] == [p.data for p in cold.pages]
+
+        pooled = CatalogPipeline(config).encode_catalog(hour=0, processes=2)
+        assert [p.data for p in pooled.pages] == [p.data for p in cold.pages]
+
+        section = {
+            "n_pages": cold.n_pages,
+            "width": config.width,
+            "quality": config.quality,
+            "total_bytes": cold.total_bytes,
+            "cold_pages_per_s": cold.pages_per_s,
+            "warm_pages_per_s": warm.pages_per_s,
+            "warm_speedup": cold.elapsed_s / warm.elapsed_s,
+            "pool_pages_per_s": pooled.pages_per_s,
+            "pool_processes": pooled.processes,
+            "store_hits_warm": warm.store_hits,
+        }
+        _merge_section("catalog", section)
+        print_table(
+            f"Catalog pipeline ({cold.n_pages} pages, {config.width}px, Q10)",
+            ["path", "pages/s", "speedup"],
+            [
+                ["cold encode", f"{cold.pages_per_s:.1f}", "1.0x"],
+                [f"pool ({pooled.processes})", f"{pooled.pages_per_s:.1f}",
+                 f"{cold.elapsed_s / pooled.elapsed_s:.2f}x"],
+                ["warm store", f"{warm.pages_per_s:.0f}",
+                 f"{cold.elapsed_s / warm.elapsed_s:.0f}x"],
+            ],
+        )
+        assert section["warm_speedup"] > 10.0  # store hits skip render+encode

@@ -9,6 +9,7 @@ curious user would actually run:
 * ``encode / decode``      SWebp image compression
 * ``modem-tx / modem-rx``  bytes <-> playable WAV audio
 * ``simulate``             run the end-to-end system and report
+* ``catalog``              top-N catalog: render -> encode -> modem -> decode
 * ``bench``                run the perf benchmarks (BENCH_pipeline.json)
 """
 
@@ -222,6 +223,82 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    """Top-N catalog through render -> encode -> modem -> channel -> decode."""
+    import time
+
+    from repro.core.pipeline import frames_to_waveform, waveform_to_frames
+    from repro.modem.modem import Modem
+    from repro.server.cache import BundleStore
+    from repro.server.catalog import CatalogConfig, CatalogPipeline
+    from repro.transport.bundle import BundleTransport, PageBundle
+    from repro.util.rng import derive_rng
+
+    store = BundleStore(directory=args.store)
+    pipeline = CatalogPipeline(
+        CatalogConfig(
+            seed=args.seed,
+            n_sites=args.sites,
+            width=args.width,
+            max_height=args.max_height,
+            quality=args.quality,
+        ),
+        store=store,
+    )
+    urls = pipeline.generator.all_urls()[: args.top]
+    result = pipeline.encode_catalog(urls, hour=args.hour, processes=args.processes)
+
+    modem = Modem(args.profile)
+    transport = BundleTransport()
+    sample_rate = modem.profile.ofdm.sample_rate
+    t_radio = 0.0
+    audio_s = 0.0
+    n_frames = 0
+    rows = []
+    ok_pages = 0
+    for i, page in enumerate(result.pages):
+        t0 = time.perf_counter()
+        frames = transport.chunk(page.data, page_id=i, version=page.epoch)
+        wave = frames_to_waveform(frames, modem, frames_per_burst=16)
+        if args.impairment == "awgn":
+            rng = derive_rng(args.seed, "catalog-awgn", i)
+            power = float(np.mean(wave**2))
+            noise = power / (10.0 ** (args.snr_db / 10.0))
+            wave = wave + rng.normal(0.0, np.sqrt(noise), wave.size)
+        received = waveform_to_frames(wave, modem, frames_per_burst=16)
+        blob = transport.reassemble([f for f in received if f is not None])
+        ok = blob == page.data
+        if ok:
+            PageBundle.from_bytes(blob)  # decode the image end-to-end
+            ok_pages += 1
+        t_radio += time.perf_counter() - t0
+        audio_s += wave.size / sample_rate
+        n_frames += len(frames)
+        rows.append(
+            f"  {page.url:34} {len(page.data):>8} B {len(frames):>5} frames "
+            f"{'store' if page.from_store else 'encoded':>7} {'ok' if ok else 'FAIL'}"
+        )
+
+    print(f"{'url':36} {'bytes':>8} {'frames':>11} {'source':>7} rx")
+    print("\n".join(rows))
+    total = result.elapsed_s + t_radio
+    print(
+        f"\nrender+encode: {result.n_pages} pages in {result.elapsed_s:.2f}s "
+        f"({result.pages_per_s:.2f} pages/s, {result.store_hits} store hits, "
+        f"{result.encoded} encoded, {result.processes} process(es))"
+    )
+    print(
+        f"radio:         {n_frames} frames / {audio_s:.1f}s of audio in "
+        f"{t_radio:.2f}s ({audio_s / t_radio:.1f}x realtime)"
+    )
+    print(
+        f"end-to-end:    {ok_pages}/{result.n_pages} pages ok, "
+        f"{result.n_pages / total:.2f} pages/s, "
+        f"{audio_s / total:.1f}x realtime overall"
+    )
+    return 0 if ok_pages == result.n_pages else 1
+
+
 def _bench_smoke(repo_root: Path) -> int:
     """Fast perf regression gate against the checked-in baseline JSON."""
     import json
@@ -286,6 +363,75 @@ def _bench_smoke(repo_root: Path) -> int:
         print(
             f"error: receiver decode regressed >30% "
             f"({rx_now:.0f} vs baseline {rx_base:.0f} frames/s)",
+            file=sys.stderr,
+        )
+        return 1
+
+    # --- imaging gate: batch SWebp decode (same spec as the bench) ---
+    from repro.imaging.codec import SWebpCodec
+    from repro.web.render import PageRenderer
+    from repro.web.sites import SiteGenerator
+
+    if "imaging" not in baseline or "catalog" not in baseline:
+        print(
+            "error: BENCH_pipeline.json has no imaging/catalog section — "
+            "run `python -m repro bench` once to establish the baseline",
+            file=sys.stderr,
+        )
+        return 1
+
+    gen = SiteGenerator(seed=42, n_sites=4)
+    page_img = PageRenderer(width=1080, max_height=1600).render(
+        gen.page(gen.all_urls()[0], 0)
+    ).image
+    codec = SWebpCodec(10)
+    encoded = codec.encode(page_img)
+    codec.decode(encoded)  # warm-up
+    best = np.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        image = codec.decode(encoded)
+        best = min(best, time.perf_counter() - t0)
+    decode_base = baseline["imaging"]["decode_pages_per_s"]
+    decode_now = 1.0 / best
+    print(f"swebp decode:    {decode_now:.1f} pages/s "
+          f"(baseline {decode_base:.1f}, {decode_now / decode_base:.2f}x)")
+    if not np.array_equal(image, codec.decode_ref(encoded)):
+        print("error: batch decode diverged from decode_ref", file=sys.stderr)
+        return 1
+    if decode_now < 0.7 * decode_base:
+        print(
+            f"error: batch SWebp decode regressed >30% "
+            f"({decode_now:.1f} vs baseline {decode_base:.1f} pages/s)",
+            file=sys.stderr,
+        )
+        return 1
+
+    # --- catalog gate: store-backed pipeline (same spec as the bench) ---
+    from repro.server.catalog import CatalogConfig, CatalogPipeline
+
+    pipeline = CatalogPipeline(
+        CatalogConfig(seed=42, n_sites=2, width=360, max_height=1200, quality=10)
+    )
+    t0 = time.perf_counter()
+    cold = pipeline.encode_catalog(hour=0, processes=1)
+    t_cold = time.perf_counter() - t0
+    warm = pipeline.encode_catalog(hour=0, processes=1)
+    cold_base = baseline["catalog"]["cold_pages_per_s"]
+    cold_now = cold.n_pages / t_cold
+    print(f"catalog encode:  {cold_now:.1f} pages/s cold "
+          f"(baseline {cold_base:.1f}, {cold_now / cold_base:.2f}x), "
+          f"{warm.store_hits}/{warm.n_pages} warm store hits")
+    if warm.store_hits != warm.n_pages:
+        print("error: warm catalog run re-encoded pages", file=sys.stderr)
+        return 1
+    if [p.data for p in warm.pages] != [p.data for p in cold.pages]:
+        print("error: warm catalog bytes differ from cold run", file=sys.stderr)
+        return 1
+    if cold_now < 0.7 * cold_base:
+        print(
+            f"error: catalog encode regressed >30% "
+            f"({cold_now:.1f} vs baseline {cold_base:.1f} pages/s)",
             file=sys.stderr,
         )
         return 1
@@ -390,6 +536,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distance-m", type=float, default=0.9)
     p.add_argument("--processes", type=int, default=None)
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "catalog",
+        help="push the top-N catalog through render -> encode -> modem -> decode",
+    )
+    p.add_argument("--top", type=int, default=3, help="how many catalog pages")
+    p.add_argument("--sites", type=int, default=4)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--hour", type=int, default=0)
+    p.add_argument("--width", type=int, default=720)
+    p.add_argument("--max-height", type=int, default=1_600)
+    p.add_argument("--quality", type=int, default=10)
+    p.add_argument("--profile", default="sonic-ofdm")
+    p.add_argument("--impairment", choices=["clean", "awgn"], default="clean")
+    p.add_argument("--snr-db", type=float, default=14.0)
+    p.add_argument("--processes", type=int, default=None,
+                   help="pool size for render+encode (default: cpu count)")
+    p.add_argument("--store", default=None,
+                   help="directory for the persistent bundle store")
+    p.set_defaults(func=_cmd_catalog)
 
     p = sub.add_parser("simulate", help="run the end-to-end system")
     p.add_argument("--seconds", type=float, default=1_800.0)

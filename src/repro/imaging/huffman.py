@@ -100,8 +100,12 @@ class CanonicalHuffman:
             self.codes[symbol] = code
             code += 1
             prev_len = length
+        # Peek tables are built eagerly: every consumer (encoder stats
+        # aside) decodes right after construction, and the batch decoder
+        # gathers from them wholesale.
         self._peek_symbol: np.ndarray | None = None
         self._peek_length: np.ndarray | None = None
+        self._build_peek()
 
     def serialize(self) -> bytes:
         """Compact table: count + (symbol, length) pairs for used symbols."""

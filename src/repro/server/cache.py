@@ -1,18 +1,112 @@
-"""Server-side page cache.
+"""Server-side page cache and the persistent encoded-bundle store.
 
 "the SONIC server produces a simplified version of the webpage, either
 from its cache, e.g., if recently requested by another user, or by
 directly accessing it" (Section 3.1).  Entries carry the expiry the
 server later advertises to clients.
+
+Two layers live here:
+
+* :class:`PageCache` — the TTL'd render cache of Section 3.1.
+* :class:`BundleStore` — a digest-keyed store of *encoded* bundle bytes.
+  The key is derived from everything the encode depends on (URL, content
+  epoch, render geometry, quality, corpus seed), so any hour, process,
+  or simulation run that needs the same page reuses the bytes instead of
+  re-rendering and re-encoding — the server-side analogue of the
+  transmitters' :class:`~repro.server.transmitters.BroadcastEncodeCache`.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.transport.bundle import PageBundle
 
-__all__ = ["CachedPage", "PageCache"]
+__all__ = ["CachedPage", "PageCache", "BundleStoreStats", "BundleStore", "bundle_key"]
+
+
+def bundle_key(
+    url: str,
+    epoch: int,
+    width: int,
+    max_height: int | None,
+    quality: int,
+    seed: int,
+) -> str:
+    """Digest of every input the encoded bundle is a pure function of."""
+    blob = f"{url}|{epoch}|{width}|{max_height}|{quality}|{seed}".encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class BundleStoreStats:
+    """Hit/miss counters; ``disk_hits`` also count toward ``hits``."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+
+
+class BundleStore:
+    """LRU memory store of encoded bundles with optional disk persistence.
+
+    ``directory`` (if given) persists every entry as ``<key>.swbp`` so the
+    store survives process restarts — warm broadcast-day runs skip the
+    whole render+encode pipeline.  Keys come from :func:`bundle_key`.
+    """
+
+    def __init__(
+        self, capacity: int = 256, directory: str | Path | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self.stats = BundleStoreStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or (
+            self.directory is not None and (self.directory / f"{key}.swbp").exists()
+        )
+
+    def get(self, key: str) -> bytes | None:
+        data = self._entries.get(key)
+        if data is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return data
+        if self.directory is not None:
+            path = self.directory / f"{key}.swbp"
+            if path.exists():
+                data = path.read_bytes()
+                self._remember(key, data)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return data
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, data: bytes) -> None:
+        self._remember(key, data)
+        self.stats.puts += 1
+        if self.directory is not None:
+            (self.directory / f"{key}.swbp").write_bytes(data)
+
+    def _remember(self, key: str, data: bytes) -> None:
+        self._entries[key] = data
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
 
 
 @dataclass

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.server.cache import PageCache
+from repro.server.cache import BundleStore, PageCache, bundle_key
 from repro.server.scheduler import PopularityScheduler, SchedulerConfig
 from repro.server.transmitters import (
     Transmitter,
@@ -57,6 +57,7 @@ class ServerStats:
     requests: int = 0
     cache_hits: int = 0
     renders: int = 0
+    store_hits: int = 0  # encoded bundles reused from the BundleStore
     rejected: int = 0
     pushes: int = 0
     searches: int = 0
@@ -72,12 +73,14 @@ class SonicServer:
         gateway: SmsGateway,
         config: ServerConfig = ServerConfig(),
         scheduler_config: SchedulerConfig = SchedulerConfig(),
+        bundle_store: BundleStore | None = None,
     ) -> None:
         self.generator = generator
         self.transmitters = transmitters
         self.gateway = gateway
         self.config = config
         self.cache = PageCache(default_ttl_s=config.cache_ttl_s)
+        self.bundle_store = bundle_store if bundle_store is not None else BundleStore()
         self.scheduler = PopularityScheduler(generator, scheduler_config)
         self.renderer = PageRenderer(
             width=config.render_width, max_height=config.max_pixel_height
@@ -98,21 +101,44 @@ class SonicServer:
 
     # -- rendering ------------------------------------------------------------
 
-    def render_bundle(self, url: str, now: float) -> tuple[PageBundle, bytes]:
-        """Produce (bundle, encoded bytes) for a URL at simulation time."""
-        hour = int(now // 3600)
-        page = self.generator.page(url, hour)
-        result = self.renderer.render(page)
-        bundle = PageBundle(
+    def _bundle_key(self, url: str, epoch: int) -> str:
+        return bundle_key(
             url,
-            result.image,
-            result.clickmap,
-            expiry_hours=self.config.client_cache_hours,
-            quality=self.config.quality,
+            epoch,
+            self.config.render_width,
+            self.config.max_pixel_height,
+            self.config.quality,
+            self.generator.seed,
         )
-        data = bundle.to_bytes()
-        self.stats.renders += 1
+
+    def render_bundle(self, url: str, now: float) -> tuple[PageBundle, bytes]:
+        """Produce (bundle, encoded bytes) for a URL at simulation time.
+
+        The persistent :class:`BundleStore` is consulted first: an hour,
+        process, or prior run that already encoded this (url, epoch) at
+        the same render settings hands back the identical bytes without
+        rendering or re-encoding.
+        """
+        hour = int(now // 3600)
         epoch = self.generator.effective_epoch(url, hour)
+        key = self._bundle_key(url, epoch)
+        data = self.bundle_store.get(key)
+        if data is not None:
+            self.stats.store_hits += 1
+            bundle = PageBundle.from_bytes(data)
+        else:
+            page = self.generator.page(url, hour)
+            result = self.renderer.render(page)
+            bundle = PageBundle(
+                url,
+                result.image,
+                result.clickmap,
+                expiry_hours=self.config.client_cache_hours,
+                quality=self.config.quality,
+            )
+            data = bundle.to_bytes()
+            self.stats.renders += 1
+            self.bundle_store.put(key, data)
         # Keep only the freshest encode per URL: stale epochs are never
         # broadcast again, and long simulations must not grow unbounded.
         stale = [key for key in self._encoded if key[0] == url and key[1] != epoch]
@@ -309,6 +335,51 @@ class SonicServer:
             )
         )
         return len(entries)
+
+    def push_catalog(
+        self,
+        tx: Transmitter,
+        now: float,
+        urls: list[str] | None = None,
+        processes: int | None = None,
+    ):
+        """Encode the catalog through the pooled pipeline and broadcast it.
+
+        All (or the given) corpus pages are rendered/encoded via
+        :class:`~repro.server.catalog.CatalogPipeline` backed by this
+        server's :attr:`bundle_store` — so a warm store (a later hour, a
+        rerun) skips re-encoding entirely — then queued on ``tx`` at
+        their popularity priority, followed by a catalog announcement.
+        Returns the :class:`~repro.server.catalog.CatalogResult`.
+        """
+        from repro.server.catalog import CatalogConfig, CatalogPipeline
+
+        hour = int(now // 3600)
+        pipeline = CatalogPipeline(
+            CatalogConfig(
+                seed=self.generator.seed,
+                n_sites=self.generator.n_sites,
+                width=self.config.render_width,
+                max_height=self.config.max_pixel_height,
+                quality=self.config.quality,
+                expiry_hours=self.config.client_cache_hours,
+            ),
+            store=self.bundle_store,
+            generator=self.generator,
+        )
+        result = pipeline.encode_catalog(urls=urls, hour=hour, processes=processes)
+        for page in result.pages:
+            self.enqueue_broadcast(
+                tx,
+                page.url,
+                page.data,
+                priority=self.scheduler.page_priority(page.url, hour),
+                version=page.epoch,
+            )
+            self._encoded[(page.url, page.epoch)] = page.data
+        self.stats.pushes += result.n_pages
+        self.broadcast_catalog(tx, now)
+        return result
 
     def _known_url(self, url: str) -> bool:
         try:

@@ -84,6 +84,27 @@ class TestCli:
         bad.write_bytes(b"not an image at all")
         assert main(["decode", str(bad), str(tmp_path / "o.ppm")]) == 1
 
+    def test_catalog_end_to_end(self, capsys):
+        assert main([
+            "catalog", "--top", "1", "--sites", "2",
+            "--width", "240", "--max-height", "600", "--processes", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "end-to-end" in out
+
+    def test_catalog_warm_store(self, tmp_path, capsys):
+        args = [
+            "catalog", "--top", "1", "--sites", "2",
+            "--width", "240", "--max-height", "600", "--processes", "1",
+            "--store", str(tmp_path / "bundles"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0  # second run decodes straight from the store
+        out = capsys.readouterr().out
+        assert "1 store hits" in out
+
     def test_simulate(self, capsys):
         assert main([
             "simulate", "--seconds", "120", "--sites", "2",
