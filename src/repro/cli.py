@@ -182,18 +182,23 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.sim.receivers import FleetConfig, run_fleet
     from repro.util.rng import derive_rng
 
+    from repro.core.stream import WaveformSource
+
     modem = Modem(args.profile)
     rng = derive_rng(args.seed, "fleet-payload")
     size = modem.frame_payload_size
-    wave_parts = []
-    for i in range(0, args.frames, args.frames_per_burst):
-        burst = [
-            rng.integers(0, 256, size, dtype=np.uint8).tobytes()
-            for _ in range(min(args.frames_per_burst, args.frames - i))
-        ]
-        wave_parts.append(modem.transmit_burst(burst))
-        wave_parts.append(np.zeros(modem.profile.guard_samples))
-    wave = np.concatenate(wave_parts)
+
+    def bursts():
+        for i in range(0, args.frames, args.frames_per_burst):
+            yield [
+                rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+                for _ in range(min(args.frames_per_burst, args.frames - i))
+            ]
+
+    supply = bursts()
+    # Streaming TX engine: guard blocks between bursts only, so the
+    # broadcast ends on its last payload symbol, not on silence.
+    wave = WaveformSource(lambda: next(supply, None), modem).read_all()
 
     config = FleetConfig(
         n_receivers=args.receivers,
@@ -219,6 +224,159 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"{result.processes} process(es): {result.elapsed_s:.2f}s "
         f"({result.receivers_per_s:.1f} receivers/s, "
         f"mean loss {result.mean_loss_rate * 100:.1f}%)"
+    )
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Run a live chunked broadcast: carousel -> audio -> channel -> pages.
+
+    The whole Figure 4(c) schedule executes as a dataflow: the hourly
+    re-render schedule enqueues pages, the streaming transmitter
+    modulates them burst by burst through the broadcast encode cache,
+    the audio crosses a chunk-capable channel, and a streaming receiver
+    plus page assembler consume it — all in O(chunk) memory, so
+    ``--hours 48 --pages 200`` runs without ever materialising the
+    multi-gigabyte capture.
+    """
+    from repro.client.streaming import StreamingPageAssembler
+    from repro.core.stream import CarouselFrameSource, StreamSession, WaveformSource
+    from repro.modem.modem import Modem
+    from repro.modem.streaming import StreamingReceiver
+    from repro.server.transmitters import BroadcastEncodeCache
+    from repro.sim.workload import BroadcastWorkload, WorkloadConfig
+    from repro.transport.bundle import BundleTransport
+    from repro.transport.carousel import BroadcastCarousel
+    from repro.util.rng import derive_rng
+
+    modem = Modem(args.profile)
+    sample_rate = modem.profile.ofdm.sample_rate
+    chunk_samples = max(1, int(args.chunk_s * sample_rate))
+    duration_s = args.hours * 3600.0
+    n_chunks = max(1, int(np.ceil(duration_s * sample_rate / chunk_samples)))
+    total_samples = n_chunks * chunk_samples
+
+    n_hours = max(1, int(np.ceil(args.hours)))
+    workload = BroadcastWorkload(
+        WorkloadConfig(
+            rate_bps=args.rate, n_pages=args.pages, n_hours=n_hours, seed=args.seed
+        )
+    )
+    urls = workload.generator.all_urls()
+    if args.max_page_kb:
+        # Real modelled pages are hundreds of kB — hours of airtime each
+        # at FM rates.  Capping keeps short runs meaningful; the byte
+        # accounting stays consistent because the cap goes through the
+        # size model, not around it.
+        cap = args.max_page_kb * 1024
+        workload.size_model.calibrate(
+            {u: min(workload.size_model.base_size(u), cap) for u in urls}
+        )
+    page_ids = {u: i for i, u in enumerate(urls)}
+    carousel = BroadcastCarousel(args.rate)
+    transport = BundleTransport()
+
+    def make_frames(item):
+        """Synthetic page payload, deterministic per (url, enqueue time)."""
+        rng = derive_rng(args.seed, "stream-payload", item.url, int(item.enqueued_at))
+        data = rng.integers(0, 256, item.size_bytes, dtype=np.uint8).tobytes()
+        return transport.chunk(data, page_id=page_ids[item.url], version=0)
+
+    hour_state = {"next": 0}
+
+    def on_advance(now: float) -> None:
+        while hour_state["next"] <= int(now // 3600) and hour_state["next"] < n_hours:
+            workload.enqueue_hour(carousel, hour_state["next"])
+            hour_state["next"] += 1
+
+    channel = None
+    if args.impairment != "clean":
+        probe = modem.transmit_burst([bytes(modem.frame_payload_size)] * 4)
+        if args.impairment == "awgn":
+            from repro.radio.streams import AwgnStream
+
+            power = float(np.mean(probe**2))
+            sigma = np.sqrt(power / (10.0 ** (args.snr_db / 10.0)))
+            channel = AwgnStream(derive_rng(args.seed, "stream-awgn"), sigma)
+        elif args.impairment == "acoustic":
+            from repro.radio.channels import AcousticChannel
+
+            channel = AcousticChannel(seed=args.seed).stream(
+                args.distance_m, total_samples, float(np.mean(probe**2))
+            )
+        else:  # fm
+            from repro.radio.channels import FmRadioLink
+
+            channel = FmRadioLink(seed=args.seed).stream(
+                args.rssi_dbm, peak_estimate=float(np.max(np.abs(probe)))
+            )
+
+    # An encoded sonic-ofdm burst is ~4 MB of float64, so the cache is
+    # sized in single digits of bursts: it only pays off when the
+    # carousel rebroadcasts identical content (gap-filling cycles), and
+    # 0 disables it for workloads that never repeat a burst.
+    cache = (
+        BroadcastEncodeCache(capacity=args.cache_bursts)
+        if args.cache_bursts > 0
+        else None
+    )
+    source = WaveformSource(
+        CarouselFrameSource(
+            carousel, frames_per_burst=args.frames_per_burst, make_frames=make_frames
+        ),
+        modem,
+        chunk_samples=chunk_samples,
+        idle_fill=True,
+        cache=cache,
+    )
+    receiver = StreamingReceiver(modem, frames_per_burst=args.frames_per_burst)
+    assembler = StreamingPageAssembler()
+    session = StreamSession(
+        source,
+        receiver,
+        channel=channel,
+        carousel=carousel,
+        on_frames=lambda frames, now: assembler.push(frames, now),
+        on_advance=on_advance,
+    )
+
+    def progress(s: StreamSession) -> None:
+        st = s.stats
+        print(
+            f"t={st.audio_seconds:8.1f}s  chunks {st.chunks:>6} "
+            f"({st.chunks_per_s:6.1f}/s, {st.realtime_factor:5.1f}x rt)  "
+            f"frames {st.frames_ok}/{st.frames_decoded}  "
+            f"pages {assembler.pages_completed}  "
+            f"backlog {carousel.backlog_bytes() / 1e6:7.2f} MB  "
+            f"rxbuf {st.max_rx_buffer_samples / 1000:.0f}k"
+        )
+
+    stats = session.run(
+        duration_s=duration_s,
+        max_chunks=n_chunks,
+        progress=progress,
+        progress_every=args.progress_every,
+    )
+
+    hits = cache.stats.burst_hits if cache is not None else 0
+    misses = (
+        cache.stats.burst_misses if cache is not None else source.bursts_encoded
+    )
+    print(
+        f"\nstreamed {stats.audio_seconds / 3600:.3f} h of audio "
+        f"({args.pages} pages at {args.rate / 1000:.0f} kbps, "
+        f"{args.impairment} channel) in {stats.elapsed_s:.1f}s wall "
+        f"({stats.realtime_factor:.1f}x realtime)"
+    )
+    print(
+        f"frames: {stats.frames_ok}/{stats.frames_decoded} ok, "
+        f"pages completed: {assembler.pages_completed}, "
+        f"burst cache: {hits} hits / {misses} misses"
+    )
+    print(
+        f"peak rx buffer: {stats.max_rx_buffer_samples} samples "
+        f"({stats.max_rx_buffer_samples * 8 / 1e6:.1f} MB) vs "
+        f"{total_samples} total ({total_samples * 8 / 1e6:.1f} MB unchunked)"
     )
     return 0
 
@@ -435,6 +593,54 @@ def _bench_smoke(repo_root: Path) -> int:
             file=sys.stderr,
         )
         return 1
+    # --- streaming gate: chunked decode parity + rate ---
+    from repro.modem.streaming import StreamingReceiver
+
+    if "streaming" not in baseline:
+        print(
+            "error: BENCH_pipeline.json has no streaming section — "
+            "run `python -m repro bench` once to establish the baseline",
+            file=sys.stderr,
+        )
+        return 1
+    batch_rx = modem.receive(wave, frames_per_burst=16)
+    best = np.inf
+    base_chunks = 0
+    for chunk_samples in (4800, 7777):
+        receiver = StreamingReceiver(modem, frames_per_burst=16)
+        stream_rx = []
+        t0 = time.perf_counter()
+        n_chunks = 0
+        for i in range(0, wave.size, chunk_samples):
+            stream_rx += receiver.push(wave[i : i + chunk_samples])
+            n_chunks += 1
+        stream_rx += receiver.finish()
+        if chunk_samples == 4800:  # rate is defined at the default chunk size
+            best = min(best, time.perf_counter() - t0)
+            base_chunks = n_chunks
+        same = len(stream_rx) == len(batch_rx) and all(
+            s.payload == b.payload and s.start_index == b.start_index
+            for s, b in zip(stream_rx, batch_rx)
+        )
+        if not same:
+            print(
+                f"error: streaming decode (chunk={chunk_samples}) diverged "
+                "from Modem.receive",
+                file=sys.stderr,
+            )
+            return 1
+    chunks_base = baseline["streaming"]["chunks_per_s"]
+    chunks_now = base_chunks / best
+    print(f"streaming rx:    {chunks_now:.0f} chunks/s "
+          f"(baseline {chunks_base:.0f}, {chunks_now / chunks_base:.2f}x), "
+          f"parity ok at 2 chunk sizes")
+    if chunks_now < 0.7 * chunks_base:
+        print(
+            f"error: streaming decode regressed >30% "
+            f"({chunks_now:.0f} vs baseline {chunks_base:.0f} chunks/s)",
+            file=sys.stderr,
+        )
+        return 1
     print("perf smoke ok")
     return 0
 
@@ -536,6 +742,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distance-m", type=float, default=0.9)
     p.add_argument("--processes", type=int, default=None)
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "stream",
+        help="run a live chunked broadcast (carousel -> audio -> pages)",
+    )
+    p.add_argument("--hours", type=float, default=0.02,
+                   help="audio hours to stream (48 for the Fig. 4(c) horizon)")
+    p.add_argument("--rate", type=float, default=20_000.0)
+    p.add_argument("--pages", type=int, default=8,
+                   help="corpus pages (multiple of 4; 200 for the paper's N=200)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--profile", default="sonic-ofdm")
+    p.add_argument("--frames-per-burst", type=int, default=16)
+    p.add_argument("--chunk-s", type=float, default=0.1,
+                   help="audio chunk size in seconds")
+    p.add_argument("--impairment",
+                   choices=["clean", "awgn", "acoustic", "fm"], default="clean")
+    p.add_argument("--snr-db", type=float, default=14.0)
+    p.add_argument("--distance-m", type=float, default=0.5)
+    p.add_argument("--rssi-dbm", type=float, default=-70.0)
+    p.add_argument("--max-page-kb", type=int, default=12,
+                   help="cap synthetic page size (0 = real modelled sizes)")
+    p.add_argument("--cache-bursts", type=int, default=8,
+                   help="burst-level encode cache capacity (0 disables)")
+    p.add_argument("--progress-every", type=int, default=200,
+                   help="print live counters every N chunks")
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser(
         "catalog",

@@ -11,6 +11,7 @@ from repro.client.cache import ClientCache
 from repro.client.catalog import Catalog, CatalogEntry
 from repro.client.browser import Browser, ClickOutcome
 from repro.client.client import SonicClient, ClientProfile
+from repro.client.streaming import AssembledPage, StreamingPageAssembler
 
 __all__ = [
     "ClientCache",
@@ -20,4 +21,6 @@ __all__ = [
     "ClickOutcome",
     "SonicClient",
     "ClientProfile",
+    "AssembledPage",
+    "StreamingPageAssembler",
 ]

@@ -125,6 +125,26 @@ class SonicClient:
                         del self._partial[k]
         return completed
 
+    def on_received_frames(self, received, now: float) -> list[PageBundle]:
+        """Ingest raw modem output (:class:`ReceivedFrame` batches).
+
+        Adapter for the chunked dataflow: wire this as a
+        :class:`~repro.core.stream.StreamSession` ``on_frames`` callback
+        and the client consumes the broadcast incrementally — no
+        whole-capture array, progressive page fill-in, and mid-carousel
+        tune-in for free (missed columns are gaps a later cycle fills).
+        """
+        frames: list[Frame | None] = []
+        for rx in received:
+            if rx.payload is None:
+                frames.append(None)
+                continue
+            try:
+                frames.append(Frame.from_bytes(rx.payload))
+            except (ValueError, KeyError):
+                frames.append(None)
+        return self.on_frames(frames, now)
+
     def _ingest_catalog_frame(self, frame: Frame) -> None:
         """Accumulate catalog announcements into the 'upcoming' view."""
         from repro.transport.metadata import CatalogAnnouncement

@@ -1,0 +1,116 @@
+"""Incremental page assembly from a live decoded frame stream.
+
+A SONIC phone does not wait for a capture to end: frames arrive while
+the carousel is still on air, and the app fills pages in progressively —
+including pages whose transmission was already under way when the user
+tuned in (the missed columns arrive on the next carousel cycle).
+
+:class:`StreamingPageAssembler` is that consumer: feed it the
+:class:`~repro.modem.modem.ReceivedFrame` batches a
+:class:`~repro.modem.streaming.StreamingReceiver` emits and it keeps
+per-page fill state, completes bundles as their last frame lands, and
+reports reception progress for the page currently on air.  A full
+:class:`~repro.client.client.SonicClient` does the same via its
+:meth:`~repro.client.client.SonicClient.on_received_frames` adapter;
+this class is the dependency-free core used by ``repro stream``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.modem.modem import ReceivedFrame
+from repro.transport.bundle import BundleTransport, PageBundle
+from repro.transport.framing import Frame, FrameType
+
+__all__ = ["AssembledPage", "StreamingPageAssembler"]
+
+
+@dataclass(frozen=True)
+class AssembledPage:
+    """One page completed mid-stream."""
+
+    bundle: PageBundle
+    completed_at: float  # stream time, seconds
+
+
+class StreamingPageAssembler:
+    """Progressive frames -> bundles consumer for the chunked dataflow."""
+
+    def __init__(self) -> None:
+        self._transport = BundleTransport()
+        # Keyed by (page_id, version): chunks of different renders of
+        # the same page must never mix.
+        self._partial: dict[tuple[int, int], dict[int, Frame]] = {}
+        self.pages: list[AssembledPage] = []
+        self.pages_raw = 0  # reassembled fully but not a parseable bundle
+        self.frames_seen = 0
+        self.frames_lost = 0
+        self.frames_alien = 0  # decoded fine but not a bundle frame
+
+    def push(
+        self, received: list[ReceivedFrame], now: float = 0.0
+    ) -> list[PageBundle]:
+        """Ingest one decoded batch; returns bundles it completed.
+
+        Lost frames (failed FEC) leave gaps that persist across carousel
+        cycles, so a later rebroadcast of the same version fills them —
+        this is also what makes mid-carousel tune-in work: the columns
+        missed before tune-in are just gaps like any other.
+        """
+        completed: list[PageBundle] = []
+        for rx in received:
+            self.frames_seen += 1
+            if rx.payload is None:
+                self.frames_lost += 1
+                continue
+            try:
+                frame = Frame.from_bytes(rx.payload)
+            except (ValueError, KeyError):
+                self.frames_lost += 1
+                continue
+            if frame.header.frame_type != FrameType.BUNDLE_BYTES:
+                self.frames_alien += 1
+                continue
+            key = (frame.header.page_id, frame.header.col)
+            slots = self._partial.setdefault(key, {})
+            slots[frame.header.seq] = frame
+            if len(slots) == frame.header.total:
+                data = self._transport.reassemble(list(slots.values()))
+                del self._partial[key]
+                if data is None:
+                    continue
+                try:
+                    bundle = PageBundle.from_bytes(data)
+                except ValueError:
+                    # Fully received, but the payload is not a bundle
+                    # (synthetic ``repro stream`` traffic, foreign apps).
+                    self.pages_raw += 1
+                else:
+                    self.pages.append(AssembledPage(bundle, now))
+                    completed.append(bundle)
+                # Older partial versions of this page are now moot.
+                stale = [k for k in self._partial if k[0] == key[0]]
+                for k in stale:
+                    del self._partial[k]
+        return completed
+
+    def progress(self, page_id: int) -> float:
+        """Best reception fraction across in-flight versions of a page."""
+        best = 0.0
+        for (pid, _version), slots in self._partial.items():
+            if pid != page_id or not slots:
+                continue
+            total = next(iter(slots.values())).header.total
+            best = max(best, len(slots) / total)
+        return best
+
+    @property
+    def pages_completed(self) -> int:
+        """Fully received pages, whether or not they parsed as bundles."""
+        return len(self.pages) + self.pages_raw
+
+    @property
+    def partial_pages(self) -> int:
+        """Pages currently filling in (tuned-in mid-transmission or gapped)."""
+        return len(self._partial)

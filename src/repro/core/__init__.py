@@ -8,11 +8,21 @@ from repro.core.pipeline import (
     waveform_to_frames,
     simulate_column_loss,
 )
+from repro.core.stream import (
+    CarouselFrameSource,
+    StreamSession,
+    StreamStats,
+    WaveformSource,
+)
 from repro.core.system import SonicSystem
 
 __all__ = [
     "SystemConfig",
     "SonicSystem",
+    "WaveformSource",
+    "CarouselFrameSource",
+    "StreamSession",
+    "StreamStats",
     "LossSimulation",
     "frames_to_waveform",
     "page_to_waveform",

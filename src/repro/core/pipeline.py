@@ -36,12 +36,18 @@ def frames_to_waveform(
 ) -> np.ndarray:
     """Modulate transport frames into audio, bursting for efficiency.
 
-    Each burst of up to ``frames_per_burst`` frames goes through the
-    batched FEC + modulation path (:meth:`Modem.transmit_burst`), so the
-    per-frame Python overhead is paid once per burst, not once per frame.
+    This is the canonical frames -> audio entry point, and the
+    whole-broadcast wrapper over the chunked transmit engine
+    (:class:`repro.core.stream.WaveformSource`): bursts of up to
+    ``frames_per_burst`` frames go through the batched FEC + modulation
+    path, separated by one ``guard_samples`` silence block *between*
+    consecutive bursts.  No trailing guard is emitted after the final
+    burst — the returned length equals :meth:`Modem.broadcast_samples`
+    exactly, so airtime and goodput accounting line up.
     """
     if not frames:
         return np.zeros(0)
+    from repro.core.stream import WaveformSource
     from repro.transport.framing import FRAME_SIZE
 
     if modem.frame_payload_size != FRAME_SIZE:
@@ -49,15 +55,16 @@ def frames_to_waveform(
             f"modem carries {modem.frame_payload_size}-byte payloads but "
             f"transport frames are {FRAME_SIZE} bytes"
         )
-    chunks = []
-    for i in range(0, len(frames), frames_per_burst):
-        burst = [f.to_bytes() for f in frames[i : i + frames_per_burst]]
-        chunks.append(modem.transmit_burst(burst))
-        chunks.append(np.zeros(modem.profile.guard_samples))
-    return np.concatenate(chunks)
+    bursts = (
+        [f.to_bytes() for f in frames[i : i + frames_per_burst]]
+        for i in range(0, len(frames), frames_per_burst)
+    )
+    source = WaveformSource(lambda: next(bursts, None), modem)
+    return source.read_all()
 
 
-#: Historical name; the pipeline operates on any frame list, not just pages.
+#: Historical alias — use :func:`frames_to_waveform`; the pipeline
+#: operates on any frame list, not just pages.
 page_to_waveform = frames_to_waveform
 
 

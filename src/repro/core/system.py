@@ -146,3 +146,57 @@ class SonicSystem:
         while remaining > 0:
             self.step(min(step_s, remaining))
             remaining -= step_s
+
+    # -- audio-true streaming ----------------------------------------------
+
+    def open_stream(
+        self,
+        station_id: str = "lahore-93.7",
+        frames_per_burst: int = 16,
+        chunk_samples: int | None = None,
+        channel=None,
+    ):
+        """Audio-true chunked broadcast of one station's carousel.
+
+        Where :meth:`step` moves frames through the calibrated loss
+        model, the returned :class:`~repro.core.stream.StreamSession`
+        actually modulates the queue through the station's burst cache,
+        runs the audio through ``channel`` (a ``process``/``finish``
+        stream from :mod:`repro.radio.streams`, or None for a clean
+        wire), demodulates it chunk by chunk, and feeds every covered
+        client via :meth:`SonicClient.on_received_frames` — all in
+        O(chunk) memory, driven by the audio clock.
+        """
+        from repro.core.stream import (
+            DEFAULT_CHUNK_SAMPLES,
+            CarouselFrameSource,
+            StreamSession,
+            WaveformSource,
+        )
+        from repro.modem.modem import Modem
+        from repro.modem.streaming import StreamingReceiver
+
+        tx = self.registry.get(station_id)
+        modem = Modem()
+        covered = [
+            c for c in self.clients if tx.covers(c.profile.location)
+        ]
+
+        def deliver(frames, now: float) -> None:
+            for client in covered:
+                client.on_received_frames(frames, now)
+
+        source = WaveformSource(
+            CarouselFrameSource(tx.carousel, frames_per_burst=frames_per_burst),
+            modem,
+            chunk_samples=chunk_samples or DEFAULT_CHUNK_SAMPLES,
+            cache=tx.cache,
+        )
+        receiver = StreamingReceiver(modem, frames_per_burst=frames_per_burst)
+        return StreamSession(
+            source,
+            receiver,
+            channel=channel,
+            carousel=tx.carousel,
+            on_frames=deliver,
+        )

@@ -9,9 +9,15 @@ which makes it a robust timing reference.
 from __future__ import annotations
 
 import numpy as np
+from scipy import fft as sp_fft
 from scipy import signal
 
-__all__ = ["linear_chirp", "matched_filter_peak"]
+__all__ = [
+    "linear_chirp",
+    "matched_filter_peak",
+    "StreamingCorrelator",
+    "StreamingPeakDetector",
+]
 
 
 def linear_chirp(
@@ -39,6 +45,164 @@ def linear_chirp(
     return (amplitude * sweep * window).astype(np.float64)
 
 
+class StreamingCorrelator:
+    """Chunk-fed normalised matched filter with chunk-invariant output.
+
+    Correlation scores are computed in fixed blocks anchored at absolute
+    sample positions (``block = 16 * template_len`` score positions per
+    block), so every score's float value depends only on the capture
+    content — pushing the capture one sample at a time and pushing it as
+    a single array produce bit-identical scores.  The local-energy
+    normalisation uses a running cumulative sum carried across blocks by
+    sequential accumulation, exactly what one whole-array ``np.cumsum``
+    would compute.
+
+    Full blocks all share one FFT length, so the template's transform is
+    computed once here and reused every block — the overlap-save loop
+    then costs one forward and one inverse FFT per block, numerically
+    identical to per-block :func:`scipy.signal.fftconvolve` calls.
+    """
+
+    def __init__(self, template: np.ndarray) -> None:
+        template = np.asarray(template, dtype=np.float64)
+        if template.size == 0:
+            raise ValueError("template must not be empty")
+        self.template_len = template.size
+        self.block = 16 * template.size
+        self._template_rev = template[::-1].copy()
+        self._template_energy = float(np.sum(template * template))
+        # fftconvolve's transform length for a full block + the cached
+        # template spectrum at that length (fftconvolve recomputes it
+        # per call — the dominant cost of block-wise scoring).
+        seg_len = self.block + self.template_len - 1
+        self._fshape = sp_fft.next_fast_len(seg_len + self.template_len - 1, True)
+        self._template_rfft = sp_fft.rfft(self._template_rev, self._fshape)
+        self._pending = np.zeros(0)  # samples not yet fully scored
+        self._csum_carry = 0.0  # exact x*x prefix sum at the block base
+        self._last_csum: np.ndarray | None = None
+        self.scored = 0  # absolute count of emitted score positions
+
+    def push(self, chunk: np.ndarray) -> tuple[int, np.ndarray]:
+        """Feed samples; returns ``(start_position, scores)`` newly scored."""
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.size:
+            self._pending = np.concatenate([self._pending, chunk])
+        start = self.scored
+        m = self.template_len
+        out: list[np.ndarray] = []
+        # A full block emits `block` scores from exactly block + m - 1
+        # samples; the trailing m - 1 samples overlap the next block.
+        while self._pending.size >= self.block + m - 1:
+            out.append(self._score_segment(self._pending[: self.block + m - 1]))
+            self._advance(self.block)
+        return start, (np.concatenate(out) if out else np.zeros(0))
+
+    def flush(self) -> tuple[int, np.ndarray]:
+        """Score the final partial block at end of capture."""
+        start = self.scored
+        if self._pending.size < self.template_len:
+            return start, np.zeros(0)
+        scores = self._score_segment(self._pending)
+        self._advance(scores.size)
+        return start, scores
+
+    def _score_segment(self, seg: np.ndarray) -> np.ndarray:
+        m = self.template_len
+        if seg.size == self.block + m - 1:
+            # Full block: same rfft length / product / irfft / centred
+            # slice as fftconvolve would use, with the template spectrum
+            # taken from the cache — bit-identical output.
+            spec = sp_fft.rfft(seg, self._fshape)
+            full = sp_fft.irfft(spec * self._template_rfft, self._fshape)
+            corr = full[m - 1 : seg.size].copy()
+        else:  # final partial block (flush)
+            corr = signal.fftconvolve(seg, self._template_rev, mode="valid")
+        csum = np.cumsum(np.concatenate([[self._csum_carry], seg * seg]))
+        self._last_csum = csum
+        local_energy = csum[m:] - csum[:-m]
+        denom = np.sqrt(np.maximum(local_energy * self._template_energy, 1e-20))
+        return corr / denom
+
+    def _advance(self, n_scores: int) -> None:
+        assert self._last_csum is not None
+        self._csum_carry = float(self._last_csum[n_scores])
+        self._pending = self._pending[n_scores:]
+        self.scored += n_scores
+
+
+class StreamingPeakDetector:
+    """Incremental greedy peak selection over a streamed score sequence.
+
+    Greedy strongest-first selection with ``min_separation`` suppression
+    decomposes exactly across any run of ``min_separation`` consecutive
+    below-threshold scores: a peak selected on one side of such a gap
+    cannot suppress a candidate on the other side.  Candidates are
+    therefore buffered per *segment* and resolved the moment the stream
+    has seen ``min_separation`` below-threshold scores after the
+    segment's last candidate — no waiting for end of capture.
+    """
+
+    def __init__(self, threshold: float, min_separation: int) -> None:
+        if min_separation < 1:
+            raise ValueError("min_separation must be >= 1")
+        self.threshold = float(threshold)
+        self.min_separation = int(min_separation)
+        self._segment: list[tuple[int, float]] = []
+        self.watermark = 0  # absolute count of scores consumed
+
+    @property
+    def pending_min(self) -> int | None:
+        """Lowest position that may still become a peak (None: >= watermark)."""
+        return self._segment[0][0] if self._segment else None
+
+    def push(self, start: int, scores: np.ndarray) -> list[tuple[int, float]]:
+        """Consume scores for positions ``[start, start + len)``; returns
+        the peaks finalised by this push, in position order."""
+        if start != self.watermark:
+            raise ValueError(
+                f"scores must be contiguous: expected {self.watermark}, got {start}"
+            )
+        out: list[tuple[int, float]] = []
+        for rel in np.flatnonzero(scores >= self.threshold):
+            pos = start + int(rel)
+            if self._segment and pos - self._segment[-1][0] > self.min_separation:
+                out.extend(self._resolve())
+            self._segment.append((pos, float(scores[rel])))
+        self.watermark = start + scores.size
+        if (
+            self._segment
+            and self.watermark - 1 - self._segment[-1][0] >= self.min_separation
+        ):
+            out.extend(self._resolve())
+        return out
+
+    def finish(self) -> list[tuple[int, float]]:
+        """Resolve the trailing open segment at end of capture."""
+        return self._resolve()
+
+    def _resolve(self) -> list[tuple[int, float]]:
+        if not self._segment:
+            return []
+        positions = np.array([p for p, _ in self._segment], dtype=np.int64)
+        scores = np.array([s for _, s in self._segment])
+        self._segment = []
+        base = int(positions[0])
+        taken = np.zeros(int(positions[-1]) - base + 1, dtype=bool)
+        peaks: list[tuple[int, float]] = []
+        # Stable sort reversed: ties resolve to the higher position,
+        # deterministically, whatever the segment boundaries were.
+        for k in np.argsort(scores, kind="stable")[::-1]:
+            idx = int(positions[k]) - base
+            if taken[idx]:
+                continue
+            peaks.append((int(positions[k]), float(scores[k])))
+            lo = max(0, idx - self.min_separation)
+            hi = min(taken.size, idx + self.min_separation)
+            taken[lo:hi] = True
+        peaks.sort(key=lambda p: p[0])
+        return peaks
+
+
 def matched_filter_peak(
     x: np.ndarray,
     template: np.ndarray,
@@ -53,7 +217,10 @@ def matched_filter_peak(
     (default: the template length).
 
     The correlation is normalised by the local signal energy, so the
-    detector's operating point does not depend on receive gain.
+    detector's operating point does not depend on receive gain.  This is
+    the whole-capture wrapper over :class:`StreamingCorrelator` +
+    :class:`StreamingPeakDetector` — chunked feeding through those
+    classes yields bit-identical peaks.
     """
     x = np.asarray(x, dtype=np.float64)
     template = np.asarray(template, dtype=np.float64)
@@ -61,29 +228,9 @@ def matched_filter_peak(
         return []
     if min_separation is None:
         min_separation = template.size
-
-    # Overlap-add convolution: chunked FFTs sized to the template keep the
-    # cost O(N log M) for minutes-long captures instead of one giant FFT.
-    corr = signal.oaconvolve(x, template[::-1], mode="valid")
-    # Local energy of x under the template window, via a cumulative sum.
-    csum = np.concatenate([[0.0], np.cumsum(x * x)])
-    local_energy = csum[template.size :] - csum[: -template.size]
-    template_energy = float(np.sum(template * template))
-    denom = np.sqrt(np.maximum(local_energy * template_energy, 1e-20))
-    score = corr / denom
-
-    # Threshold first, then sort only the (few) candidates — long quiet
-    # captures no longer pay an argsort over every sample position.
-    candidates = np.flatnonzero(score >= threshold)
-    order = candidates[np.argsort(score[candidates])[::-1]]
-    peaks: list[tuple[int, float]] = []
-    taken = np.zeros(score.size, dtype=bool)
-    for idx in order:
-        if taken[idx]:
-            continue
-        peaks.append((int(idx), float(score[idx])))
-        lo = max(0, idx - min_separation)
-        hi = min(score.size, idx + min_separation)
-        taken[lo:hi] = True
-    peaks.sort(key=lambda p: p[0])
+    correlator = StreamingCorrelator(template)
+    detector = StreamingPeakDetector(threshold, min_separation)
+    peaks = detector.push(*correlator.push(x))
+    peaks += detector.push(*correlator.flush())
+    peaks += detector.finish()
     return peaks

@@ -13,6 +13,7 @@ all ``2^(K-1)`` trellis states with numpy, supporting both hard-decision
 from __future__ import annotations
 
 import numpy as np
+from scipy import fft as sp_fft
 
 from repro.util.bits import pad_bits
 
@@ -91,6 +92,7 @@ class ConvolutionalCode:
         self._poly0_feedback_taps = [
             i for i in range(1, k) if (self.polys[0] >> (k - 1 - i)) & 1
         ]
+        self._inverse_impulse = np.zeros(0, dtype=np.uint8)  # grown on demand
 
     # -- encoding ------------------------------------------------------------
 
@@ -271,19 +273,36 @@ class ConvolutionalCode:
 
         ``out0[t] = b[t] ^ (feedback taps of b[t-1..t-K+1])`` because the
         first polynomial taps the current bit, so the information sequence
-        follows by forward substitution — one XOR per feedback tap per bit
-        time, vectorised over all frames.
+        follows by forward substitution.
+
+        The recurrence is a linear time-invariant filter over GF(2), so
+        instead of stepping it per bit time the whole batch convolves
+        with the filter's impulse response (cached, grown on demand):
+        integer-count convolution via FFT, reduced mod 2.  Counts stay
+        far below 2^53, so the rounding is exact and the result is
+        bit-identical to the sequential substitution.
         """
         n, total = hard0.shape
-        bits = np.zeros((n, total), dtype=np.uint8)
-        taps = self._poly0_feedback_taps
-        for t in range(total):
-            acc = hard0[:, t].copy()
-            for i in taps:
-                if i <= t:
-                    acc ^= bits[:, t - i]
-            bits[:, t] = acc
-        return bits
+        g = self._impulse_response(total)
+        nfft = sp_fft.next_fast_len(2 * total - 1, True)
+        conv = sp_fft.irfft(
+            sp_fft.rfft(hard0, nfft, axis=1) * sp_fft.rfft(g, nfft), nfft, axis=1
+        )[:, :total]
+        return (np.rint(conv).astype(np.int64) & 1).astype(np.uint8)
+
+    def _impulse_response(self, total: int) -> np.ndarray:
+        """First ``total`` bits of the GF(2) inverse filter 1/poly0."""
+        if self._inverse_impulse.size < total:
+            g = np.zeros(total, dtype=np.uint8)
+            taps = self._poly0_feedback_taps
+            for t in range(total):
+                acc = 1 if t == 0 else 0
+                for i in taps:
+                    if i <= t:
+                        acc ^= int(g[t - i])
+                g[t] = acc
+            self._inverse_impulse = g
+        return self._inverse_impulse[:total]
 
     def _decode_soft_kernel(self, soft: np.ndarray, total: int) -> np.ndarray:
         """Batched forward ACS + traceback over one frame chunk."""

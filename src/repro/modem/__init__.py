@@ -16,6 +16,7 @@ from repro.modem.ofdm import OfdmConfig, OfdmPhy
 from repro.modem.frame import FrameCodec, FecConfig
 from repro.modem.profiles import ModemProfile, get_profile, list_profiles
 from repro.modem.modem import Modem, ReceivedFrame
+from repro.modem.streaming import StreamingReceiver
 from repro.modem.fsk import FskModem, FskConfig
 from repro.modem.gmsk import GmskModem, GmskConfig
 from repro.modem.audioqr import AudioQrModem, AudioQrConfig
@@ -31,6 +32,7 @@ __all__ = [
     "list_profiles",
     "Modem",
     "ReceivedFrame",
+    "StreamingReceiver",
     "FskModem",
     "FskConfig",
     "GmskModem",

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dsp.chirp import linear_chirp, matched_filter_peak
+from repro.dsp.chirp import linear_chirp
 from repro.modem.frame import FrameCodec
 from repro.modem.ofdm import OfdmPhy, strided_symbol_windows
 from repro.modem.profiles import ModemProfile, get_profile
@@ -138,8 +138,25 @@ class Modem:
             + (n_frames * self._n_payload_symbols + 1) * self.profile.ofdm.symbol_len
         )
 
+    def broadcast_samples(self, n_frames: int, frames_per_burst: int = 16) -> int:
+        """Exact audio samples of an ``n_frames`` bursted broadcast.
+
+        One ``guard_samples`` silence block separates consecutive bursts;
+        there is no trailing guard after the final burst, matching what
+        :func:`repro.core.pipeline.frames_to_waveform` and the streaming
+        :class:`~repro.core.stream.WaveformSource` emit.
+        """
+        if n_frames <= 0:
+            return 0
+        full, rem = divmod(n_frames, frames_per_burst)
+        total = full * self.burst_samples(frames_per_burst)
+        if rem:
+            total += self.burst_samples(rem)
+        n_bursts = full + (1 if rem else 0)
+        return total + (n_bursts - 1) * self.profile.guard_samples
+
     def burst_net_bit_rate(self, n_frames: int) -> float:
-        """Payload goodput of an ``n_frames`` burst."""
+        """Payload goodput of an ``n_frames`` burst (no trailing guard)."""
         bits = n_frames * self.frame_payload_size * 8
         return bits / (self.burst_samples(n_frames) / self.profile.ofdm.sample_rate)
 
@@ -158,65 +175,19 @@ class Modem:
         fixed ``frames_per_burst``), passing it makes burst delineation
         exact; otherwise the frame count behind each preamble is inferred
         from how many OFDM symbol slots carry in-band energy.
+
+        This is the whole-capture wrapper over the chunked engine: the
+        capture is fed to a :class:`~repro.modem.streaming
+        .StreamingReceiver` in one push, so batch and streaming decodes
+        share one code path and stay bit-identical by construction.
         """
-        samples = np.asarray(samples, dtype=np.float64)
-        peaks = matched_filter_peak(
-            samples,
-            self._preamble,
-            threshold=sync_threshold,
-            min_separation=self._preamble.size,
+        from repro.modem.streaming import StreamingReceiver
+
+        receiver = StreamingReceiver(
+            self, sync_threshold=sync_threshold, frames_per_burst=frames_per_burst
         )
-        results: list[ReceivedFrame | None] = []
-        offset = self._preamble.size + self.profile.guard_samples
-        sym_len = self.profile.ofdm.symbol_len
-        per_frame = self._n_payload_symbols
-        # Demap every burst first, then FEC-decode the whole capture's
-        # frames in one batched pass; losses stay per-frame (None).
-        soft_chunks: list[np.ndarray] = []
-        slots: list[int] = []
-        frame_meta: list[tuple[int, float, float]] = []
-        for i, (start, score) in enumerate(peaks):
-            frame_start = start + offset
-            limit = peaks[i + 1][0] if i + 1 < len(peaks) else samples.size
-            max_symbols = (limit - frame_start) // sym_len - 1
-            if max_symbols < per_frame:
-                results.append(ReceivedFrame(None, start, -np.inf, score))
-                continue
-            if frames_per_burst is not None:
-                n_frames = min(frames_per_burst, max_symbols // per_frame)
-            else:
-                active = self._count_active_symbols(samples, frame_start, max_symbols)
-                n_frames = max(1, int(round(active / per_frame))) if active else 1
-                n_frames = min(n_frames, max_symbols // per_frame)
-            try:
-                demod = self.phy.demodulate(
-                    samples, frame_start, n_frames * per_frame
-                )
-            except ValueError:
-                results.append(ReceivedFrame(None, start, -np.inf, score))
-                continue
-            soft_chunks.append(
-                self.phy.constellation.demap_soft(
-                    demod.data_symbols.reshape(-1), demod.noise_var
-                ).reshape(n_frames, -1)
-            )
-            for j in range(n_frames):
-                # The burst's first frame reports the preamble position;
-                # later frames report where their own payload symbols
-                # start (training symbol + j frames of symbols in).
-                frame_index = (
-                    start if j == 0
-                    else frame_start + (1 + j * per_frame) * sym_len
-                )
-                slots.append(len(results))
-                frame_meta.append((frame_index, demod.snr_db, score))
-                results.append(None)
-        if soft_chunks:
-            payloads = self.codec.decode_batch(np.concatenate(soft_chunks))
-            for slot, (frame_index, snr_db, score), payload in zip(
-                slots, frame_meta, payloads
-            ):
-                results[slot] = ReceivedFrame(payload, frame_index, snr_db, score)
+        results = receiver.push(np.asarray(samples, dtype=np.float64))
+        results += receiver.finish()
         return results
 
     def _count_active_symbols(

@@ -125,6 +125,18 @@ class FmRadioLink:
         diff_rx = self._mux.extract_stereo_diff(mpx_rx)[:n] / scale
         return mono_rx, diff_rx
 
+    def stream(self, rssi_dbm: float, peak_estimate: float = 1.0):
+        """Open a chunked FM hop at ``rssi_dbm``.
+
+        Returns a :class:`repro.radio.streams.FmLinkStream` whose output
+        is invariant to how the input is chunked; the whole-array
+        :meth:`transmit` stays the reference for the calibrated RSSI
+        experiments.
+        """
+        from repro.radio.streams import FmLinkStream
+
+        return FmLinkStream(self, rssi_dbm, peak_estimate=peak_estimate)
+
     def received_rds_band(self, audio: np.ndarray, rssi_dbm: float, rds: np.ndarray) -> np.ndarray:
         """Transmit with an RDS subcarrier and return the received 57 kHz band."""
         cfg = self.config
@@ -237,6 +249,20 @@ class AcousticChannel:
         noise_power = signal_power / (10.0 ** (snr_db / 10.0))
         out = out + rng.normal(0.0, np.sqrt(max(noise_power, 0.0)), out.size)
         return out
+
+    def stream(
+        self, distance_m: float, total_samples: int, signal_power: float
+    ):
+        """Open a chunked hop across ``distance_m`` metres of air.
+
+        Consumes one RNG call slot, exactly like one :meth:`transmit`
+        call, and — given the same total length and whole-signal power
+        up front — produces bit-identical output for any chunking (see
+        :class:`repro.radio.streams.AcousticStream`).
+        """
+        from repro.radio.streams import AcousticStream
+
+        return AcousticStream(self, distance_m, total_samples, signal_power)
 
     def _flutter_gain(
         self, n_samples: int, distance_m: float, rng: np.random.Generator

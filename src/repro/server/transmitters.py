@@ -54,14 +54,16 @@ class CacheStats:
     frame_misses: int = 0
     waveform_hits: int = 0
     waveform_misses: int = 0
+    burst_hits: int = 0
+    burst_misses: int = 0
 
     @property
     def hits(self) -> int:
-        return self.frame_hits + self.waveform_hits
+        return self.frame_hits + self.waveform_hits + self.burst_hits
 
     @property
     def misses(self) -> int:
-        return self.frame_misses + self.waveform_misses
+        return self.frame_misses + self.waveform_misses + self.burst_misses
 
 
 class BroadcastEncodeCache:
@@ -133,6 +135,33 @@ class BroadcastEncodeCache:
         from repro.core.pipeline import frames_to_waveform  # avoid import cycle
 
         wave = frames_to_waveform(frames, modem, frames_per_burst=frames_per_burst)
+        wave.setflags(write=False)  # shared across broadcasts — keep immutable
+        self._put(key, wave)
+        return wave
+
+    def burst(
+        self,
+        payloads: list[bytes],
+        modem: "Modem",
+        digest: str | None = None,
+    ) -> np.ndarray:
+        """Modulated audio for one frame burst — the streaming TX unit.
+
+        The carousel rebroadcasts the same pages for hours, so the
+        streaming :class:`~repro.core.stream.WaveformSource` sees the
+        same payload bursts over and over; caching at burst granularity
+        lets repeats skip FEC + OFDM without ever materialising the
+        whole broadcast waveform.
+        """
+        digest = digest if digest is not None else payload_digest(b"".join(payloads))
+        profile = modem.profile
+        key = ("burst", digest, profile.name, profile.fec, len(payloads))
+        cached = self._get(key)
+        if cached is not None:
+            self.stats.burst_hits += 1
+            return cached
+        self.stats.burst_misses += 1
+        wave = modem.transmit_burst(payloads)
         wave.setflags(write=False)  # shared across broadcasts — keep immutable
         self._put(key, wave)
         return wave

@@ -46,6 +46,10 @@ class FleetConfig:
     profile: str = "sonic-ofdm"
     impairment: str = "awgn"  # one of IMPAIRMENTS
     frames_per_burst: int | None = 16
+    # With chunk_samples set, each receiver runs the chunked dataflow
+    # (channel stream + StreamingReceiver) in O(chunk) working memory.
+    # Loss maps are bit-identical to the batch path by construction.
+    chunk_samples: int | None = None
     # AWGN impairment: per-receiver SNR drawn uniformly from
     # [snr_db - snr_spread_db/2, snr_db + snr_spread_db/2].
     snr_db: float = 14.0
@@ -62,6 +66,8 @@ class FleetConfig:
             raise ValueError(
                 f"impairment must be one of {IMPAIRMENTS}, got {self.impairment!r}"
             )
+        if self.chunk_samples is not None and self.chunk_samples < 1:
+            raise ValueError("chunk_samples must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -126,11 +132,75 @@ def _impair(
     return channel.transmit(waveform, distance), distance
 
 
+def _impair_stream(
+    waveform: np.ndarray, config: FleetConfig, idx: int
+) -> tuple[object | None, float]:
+    """Chunk-capable channel for receiver ``idx``; same draws as batch.
+
+    The AWGN stream continues the very generator bit stream the batch
+    path consumes in one whole-array draw, and the acoustic stream is
+    pinned bit-exact against :meth:`AcousticChannel.transmit`, so the
+    chunked fleet produces identical loss maps.
+    """
+    from repro.radio.streams import AwgnStream
+
+    rng = derive_rng(config.master_seed, "fleet-rx", idx)
+    if config.impairment == "clean":
+        return None, 0.0
+    if config.impairment == "awgn":
+        snr_db = config.snr_db + config.snr_spread_db * (rng.random() - 0.5)
+        signal_power = float(np.mean(waveform**2)) if waveform.size else 0.0
+        noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+        return AwgnStream(rng, np.sqrt(noise_power)), snr_db
+    distance = config.distance_m + config.distance_spread_m * (rng.random() - 0.5)
+    distance = max(0.0, distance)
+    channel = AcousticChannel(seed=int(rng.integers(0, 2**31 - 1)))
+    signal_power = float(np.mean(waveform**2)) if waveform.size else 0.0
+    return channel.stream(distance, waveform.size, signal_power), distance
+
+
 def _receive_one(
     waveform: np.ndarray, modem: Modem, config: FleetConfig, idx: int
 ) -> ReceiverReport:
+    if config.chunk_samples is not None:
+        return _receive_one_streaming(waveform, modem, config, idx)
     audio, param = _impair(waveform, config, idx)
     frames = modem.receive(audio, frames_per_burst=config.frames_per_burst)
+    loss_map = tuple(not f.ok for f in frames)
+    return ReceiverReport(
+        receiver_id=idx,
+        channel_param=float(param),
+        n_frames=len(frames),
+        n_ok=int(sum(f.ok for f in frames)),
+        loss_map=loss_map,
+    )
+
+
+def _receive_one_streaming(
+    waveform: np.ndarray, modem: Modem, config: FleetConfig, idx: int
+) -> ReceiverReport:
+    """Chunked channel + receiver pipeline: O(chunk) working memory.
+
+    The broadcast waveform itself lives once (shared memory on the
+    pool); per-receiver state is one chunk in flight plus at most one
+    burst buffered inside the streaming receiver.
+    """
+    from repro.modem.streaming import StreamingReceiver
+
+    stream, param = _impair_stream(waveform, config, idx)
+    receiver = StreamingReceiver(modem, frames_per_burst=config.frames_per_burst)
+    frames = []
+    step = config.chunk_samples
+    for i in range(0, waveform.size, step):
+        chunk = waveform[i : i + step]
+        if stream is not None:
+            chunk = stream.process(chunk)
+        frames += receiver.push(chunk)
+    if stream is not None:
+        tail = stream.finish()
+        if tail.size:
+            frames += receiver.push(tail)
+    frames += receiver.finish()
     loss_map = tuple(not f.ok for f in frames)
     return ReceiverReport(
         receiver_id=idx,

@@ -120,6 +120,27 @@ class BroadcastWorkload:
             self.generator, quality=config.quality
         )
 
+    def enqueue_hour(
+        self, carousel: BroadcastCarousel, hour: int, pipeline=None
+    ) -> int:
+        """(Re)queue every page whose content changed at ``hour``.
+
+        This is the hourly half of the Figure 4(c) schedule, shared by
+        the batch :meth:`run` loop and the chunked ``repro stream``
+        driver.  Returns the bytes enqueued.
+        """
+        added = 0
+        for i, url in enumerate(self.generator.all_urls()):
+            if hour == 0 or self.generator.changed_at(url, hour):
+                epoch = self.generator.effective_epoch(url, hour)
+                if pipeline is not None:
+                    size = len(pipeline.encode_page(url, hour).data)
+                else:
+                    size = self.size_model.size_at(url, epoch)
+                carousel.enqueue(CarouselItem(url, size, priority=1.0 / (i + 1)))
+                added += size
+        return added
+
     def run(self, pipeline=None) -> WorkloadResult:
         """Simulate the full horizon; returns the backlog series.
 
@@ -135,9 +156,6 @@ class BroadcastWorkload:
         cfg = self.config
         if pipeline is not None and pipeline.config.seed != cfg.seed:
             raise ValueError("pipeline seed differs from workload seed")
-        urls = self.generator.all_urls()
-        # Popularity-ordered priorities: landing pages of top sites first.
-        priority = {url: 1.0 / (i + 1) for i, url in enumerate(urls)}
         carousel = BroadcastCarousel(cfg.rate_bps)
 
         times: list[float] = []
@@ -147,18 +165,7 @@ class BroadcastWorkload:
         samples_per_hour = 3600 // step_s
 
         for hour in range(cfg.n_hours):
-            added = 0
-            for url in urls:
-                if hour == 0 or self.generator.changed_at(url, hour):
-                    epoch = self.generator.effective_epoch(url, hour)
-                    if pipeline is not None:
-                        size = len(pipeline.encode_page(url, hour).data)
-                    else:
-                        size = self.size_model.size_at(url, epoch)
-                    carousel.enqueue(
-                        CarouselItem(url, size, priority=priority[url])
-                    )
-                    added += size
+            added = self.enqueue_hour(carousel, hour, pipeline=pipeline)
             hourly_mb.append(added / 1e6)
             for k in range(samples_per_hour):
                 carousel.drain(step_s)

@@ -124,6 +124,17 @@ class BroadcastCarousel:
         self._now += seconds
         return finished
 
+    def advance_time(self, seconds: float) -> None:
+        """Advance the carousel clock without draining any bytes.
+
+        The streaming transmitter drains via :meth:`emit_frames` as the
+        modem consumes payloads; this keeps completion timestamps and
+        ``enqueued_at`` ordering consistent with the audio clock.
+        """
+        if seconds < 0:
+            raise ValueError("cannot advance negative time")
+        self._now += seconds
+
     def eta_seconds(self, url: str) -> float | None:
         """Estimated completion time for a queued URL.
 

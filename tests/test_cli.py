@@ -113,3 +113,26 @@ class TestCli:
         out = capsys.readouterr().out
         assert "user-c" in out
         assert "server:" in out
+
+    def test_stream(self, capsys):
+        assert main([
+            "stream", "--hours", "0.01", "--pages", "4",
+            "--progress-every", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Live counters: chunk rate, frames decoded, carousel backlog.
+        assert "chunks" in out
+        assert "backlog" in out
+        assert "frames" in out
+        assert "streamed 0.010 h of audio" in out
+        assert "pages completed: 1" in out  # first page lands inside 36 s
+
+    def test_stream_awgn(self, capsys):
+        assert main([
+            "stream", "--hours", "0.002", "--pages", "4",
+            "--impairment", "awgn", "--snr-db", "18",
+            "--progress-every", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "awgn channel" in out
+        assert "peak rx buffer" in out

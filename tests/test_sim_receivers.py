@@ -107,6 +107,45 @@ class TestImpairments:
             assert 0.0 <= report.channel_param <= 0.2
 
 
+class TestChunkedStreaming:
+    @pytest.mark.parametrize("impairment", ["clean", "awgn", "acoustic"])
+    def test_chunked_run_is_bit_identical_to_batch(self, broadcast, impairment):
+        """``chunk_samples`` changes memory behaviour, never results: the
+        streaming path replays the batch path's RNG draws exactly."""
+        base = dict(
+            n_receivers=3,
+            master_seed=55,
+            impairment=impairment,
+            snr_db=10.0,
+            snr_spread_db=6.0,
+        )
+        batch = run_fleet(broadcast, FleetConfig(**base), processes=1)
+        chunked = run_fleet(
+            broadcast, FleetConfig(**base, chunk_samples=4800), processes=1
+        )
+        for b, c in zip(batch.reports, chunked.reports):
+            assert b.channel_param == c.channel_param
+            assert b.loss_map == c.loss_map
+            assert b.n_frames == c.n_frames
+
+    def test_chunk_size_is_invisible(self, broadcast):
+        """Any chunk size gives the same reports."""
+        base = dict(n_receivers=2, master_seed=9, impairment="awgn", snr_db=9.0)
+        reference = run_fleet(
+            broadcast, FleetConfig(**base, chunk_samples=4800), processes=1
+        )
+        for chunk in (997, 48_000, broadcast.size):
+            other = run_fleet(
+                broadcast, FleetConfig(**base, chunk_samples=chunk), processes=1
+            )
+            for a, b in zip(reference.reports, other.reports):
+                assert a.loss_map == b.loss_map
+
+    def test_invalid_chunk_samples_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(n_receivers=1, chunk_samples=0)
+
+
 class TestConfigAndReports:
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):

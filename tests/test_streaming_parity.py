@@ -1,0 +1,127 @@
+"""Streaming decode must equal ``Modem.receive`` for ANY chunking.
+
+The chunked receiver's whole contract is that chunk boundaries are
+invisible: feeding a capture one sample at a time, in random slices, or
+as one array yields bit-for-bit the frames, payloads, ``start_index``,
+SNR and sync scores of the batch path.  This module sweeps randomized
+chunk sizes (the PR's acceptance asks for >= 20) over captures whose
+preambles deliberately straddle boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.modem.modem import Modem, ReceivedFrame
+from repro.modem.streaming import StreamingReceiver
+
+
+def _stream_decode(wave, modem, chunk_sizes, frames_per_burst=None):
+    """Decode ``wave`` pushing chunks of the given sizes (cycled)."""
+    rx = StreamingReceiver(modem, frames_per_burst=frames_per_burst)
+    out: list[ReceivedFrame] = []
+    i = 0
+    k = 0
+    while i < wave.size:
+        step = int(chunk_sizes[k % len(chunk_sizes)])
+        k += 1
+        out += rx.push(wave[i : i + step])
+        i += step
+    out += rx.finish()
+    return out
+
+
+def _assert_same(streamed, batch):
+    assert len(streamed) == len(batch)
+    for s, b in zip(streamed, batch):
+        assert s.payload == b.payload
+        assert s.start_index == b.start_index
+        assert s.snr_db == b.snr_db  # bit-equal, not approx
+        assert s.sync_score == b.sync_score
+
+
+@pytest.fixture(scope="module")
+def capture():
+    """Two bursts (16 + 8 frames) plus surrounding silence."""
+    modem = Modem("sonic-ofdm")
+    rng = np.random.default_rng(99)
+    payloads = [
+        rng.integers(0, 256, modem.frame_payload_size, dtype=np.uint8).tobytes()
+        for _ in range(24)
+    ]
+    first = modem.transmit_burst(payloads[:16])
+    second = modem.transmit_burst(payloads[16:])
+    guard = np.zeros(modem.profile.guard_samples)
+    wave = np.concatenate([np.zeros(3000), first, guard, second, np.zeros(2000)])
+    return modem, wave, payloads
+
+
+class TestRandomChunkSizes:
+    def test_twenty_random_chunkings(self, capture):
+        """>= 20 randomized chunk sizes, 1 sample .. whole capture."""
+        modem, wave, payloads = capture
+        batch = modem.receive(wave, frames_per_burst=16)
+        assert [f.payload for f in batch] == payloads
+        rng = np.random.default_rng(7)
+        sizes = np.unique(
+            np.concatenate([
+                [1, 17, wave.size],  # extremes always included
+                rng.integers(2, wave.size, 18),
+            ])
+        )
+        assert sizes.size >= 20
+        for size in sizes:
+            streamed = _stream_decode(wave, modem, [size], frames_per_burst=16)
+            _assert_same(streamed, batch)
+
+    def test_mixed_chunk_sizes_within_one_run(self, capture):
+        """Chunk size varying mid-stream is just as invisible."""
+        modem, wave, _ = capture
+        batch = modem.receive(wave, frames_per_burst=16)
+        rng = np.random.default_rng(21)
+        for _ in range(5):
+            sizes = rng.integers(1, 20_000, 64)
+            _assert_same(_stream_decode(wave, modem, sizes, 16), batch)
+
+    def test_boundary_straddles_preamble(self, capture):
+        """Chunk edges placed inside each preamble's 1920 samples."""
+        modem, wave, _ = capture
+        batch = modem.receive(wave, frames_per_burst=16)
+        preamble = modem._preamble.size
+        # First preamble starts at 3000; split mid-chirp, then tiny chunks.
+        for split in (3000 + 7, 3000 + preamble // 2, 3000 + preamble - 1):
+            rx = StreamingReceiver(modem, frames_per_burst=16)
+            out = rx.push(wave[:split])
+            for i in range(split, wave.size, 4096):
+                out += rx.push(wave[i : i + 4096])
+            out += rx.finish()
+            _assert_same(out, batch)
+
+    def test_auto_burst_sizing_mode(self, capture):
+        """Without frames_per_burst the receiver sizes bursts from the
+        signal itself — still chunk-invariant."""
+        modem, wave, _ = capture
+        batch = modem.receive(wave)
+        assert sum(1 for f in batch if f.ok) == 24
+        for size in (997, 4800, 50_411):
+            _assert_same(_stream_decode(wave, modem, [size]), batch)
+
+    def test_empty_and_zero_size_pushes(self, capture):
+        """Zero-length chunks interleaved anywhere are no-ops."""
+        modem, wave, _ = capture
+        batch = modem.receive(wave, frames_per_burst=16)
+        rx = StreamingReceiver(modem, frames_per_burst=16)
+        out = rx.push(np.zeros(0))
+        for i in range(0, wave.size, 9999):
+            out += rx.push(wave[i : i + 9999])
+            out += rx.push(np.zeros(0))
+        out += rx.finish()
+        _assert_same(out, batch)
+
+    def test_finish_is_idempotent_and_push_after_raises(self, capture):
+        modem, wave, _ = capture
+        rx = StreamingReceiver(modem, frames_per_burst=16)
+        rx.push(wave)
+        rx.finish()
+        assert rx.finish() == []
+        with pytest.raises(RuntimeError):
+            rx.push(wave[:100])
