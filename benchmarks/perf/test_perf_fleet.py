@@ -90,3 +90,67 @@ class TestFleetThroughput:
         # Near-linear scaling up to the pool size: on a single-core host
         # the pool adds only IPC overhead, so the bar is relative.
         assert efficiency >= 0.5
+
+
+class TestPopulationThroughput:
+    def test_population_scaling(self):
+        """Tier-2 statistical population: receiver-frames/s vs size.
+
+        The paper-scale target is 1e6 receivers x 48 h of carousel; the
+        floor here is 1e6 receiver-frames/s sustained, with near-linear
+        cost in population size (vectorised chunks amortise fully).
+        """
+        import dataclasses
+
+        from repro.radio.lossmodel import FrameLossModel
+        from repro.sim.population import PopulationConfig, run_population
+
+        model = FrameLossModel()
+        hours = 48.0 if full_scale() else 8.0
+        sizes = (100_000, 400_000) if full_scale() else (20_000, 80_000)
+        base = PopulationConfig(n_receivers=sizes[0], hours=hours, master_seed=7)
+
+        runs = [
+            run_population(
+                model, dataclasses.replace(base, n_receivers=n)
+            )
+            for n in sizes
+        ]
+        small, large = runs
+        # Throughput floor and near-linear scaling in population size:
+        # 4x the receivers should cost ~4x, not 16x.
+        scale = (large.elapsed_s / small.elapsed_s) / (sizes[1] / sizes[0])
+        assert large.receiver_frames_per_s >= 1e6
+        assert scale < 2.0
+
+        # Chunk partitioning is invisible in the results.
+        rechunked = run_population(
+            model,
+            dataclasses.replace(base, chunk_receivers=37_013),
+        )
+        assert np.array_equal(small.loss_rates, rechunked.loss_rates)
+        assert np.array_equal(small.pages_decoded, rechunked.pages_decoded)
+
+        section = {
+            "n_receivers": sizes[1],
+            "hours": hours,
+            "frames_per_receiver": large.frames_per_receiver,
+            "receiver_frames": large.receiver_frames,
+            "receiver_frames_per_s": large.receiver_frames_per_s,
+            "elapsed_s": large.elapsed_s,
+            "scaling_ratio": scale,
+            "mean_loss_rate": large.mean_loss_rate,
+        }
+        data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+        data["fleet_population"] = section
+        BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+        print_table(
+            f"Statistical population ({hours:.0f} h carousel)",
+            ["receivers", "rx-frames/s", "elapsed"],
+            [
+                [f"{r.n_receivers:,}", f"{r.receiver_frames_per_s:.2e}",
+                 f"{r.elapsed_s:.2f}s"]
+                for r in runs
+            ],
+        )

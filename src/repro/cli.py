@@ -176,6 +176,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_population_report(result) -> None:
+    """Population distributions of a two-tier fleet run."""
+    pop = result.population
+    model = result.calibration
+    src = "store" if result.calibration_cached else "fitted from tier 1"
+    print(
+        f"\ncalibration: FER midpoint {model.fer_midpoint_db:.2f} dB, "
+        f"scale {model.fer_scale_db:.2f} dB ({src})"
+    )
+    cfg = pop.config
+    print(
+        f"population:  {pop.n_receivers:,} receivers x {cfg.hours:.0f} h "
+        f"({pop.frames_per_receiver:,} frames each, "
+        f"{cfg.pages}-page carousel, {cfg.geometry.radius_km:.1f} km disc)"
+    )
+    qs = (0.05, 0.25, 0.5, 0.75, 0.95)
+    loss = pop.loss_quantiles(qs)
+    read = pop.readability_quantiles(qs)
+    header = "".join(f"p{int(q * 100):>2}" + " " * 6 for q in qs)
+    print(f"\n{'':14}{header}mean")
+    print("frame loss    " + "".join(f"{100 * v:7.2f}% " for v in loss)
+          + f"{100 * pop.mean_loss_rate:6.2f}%")
+    print("readability   " + "".join(f"{v:7.2f}  " for v in read)
+          + f"{float(pop.readability.mean()):6.2f}")
+    full = float((pop.pages_decoded == cfg.pages).mean())
+    print(
+        f"\npages: mean {float(pop.pages_decoded.mean()):.1f}/{cfg.pages} "
+        f"decoded, {100 * full:.1f}% of receivers hold the full catalog"
+    )
+    print(f"\n{'distance':>14} {'receivers':>10} {'mean loss':>10}")
+    for lo, hi, mean, n in pop.loss_by_distance(8):
+        if n == 0:
+            continue
+        print(f"{lo:6.0f}-{hi:4.0f} m {n:>10,} {100 * mean:>9.2f}%")
+    print(
+        f"\ntier 2: {pop.receiver_frames:,} receiver-frames in "
+        f"{pop.elapsed_s:.2f}s ({pop.receiver_frames_per_s:,.0f}/s)"
+    )
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     """Broadcast one waveform to a fleet of simulated receivers."""
     from repro.modem.modem import Modem
@@ -200,19 +240,39 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     # broadcast ends on its last payload symbol, not on silence.
     wave = WaveformSource(lambda: next(supply, None), modem).read_all()
 
+    population = None
+    if args.population > 0:
+        from repro.sim.geometry import PopulationGeometry
+        from repro.sim.population import PopulationConfig
+
+        population = PopulationConfig(
+            n_receivers=args.population,
+            hours=args.hours,
+            pages=args.pages,
+            geometry=PopulationGeometry(radius_km=args.radius_km),
+            shadowing_sigma_db=args.shadowing_db,
+            chunk_receivers=args.chunk_receivers,
+        )
+
     config = FleetConfig(
         n_receivers=args.receivers,
         master_seed=args.seed,
         profile=args.profile,
-        impairment=args.impairment,
+        # Tier-1 calibration must sweep the FER transition region, so
+        # population mode pins the fleet to a wide AWGN spread around
+        # the threshold instead of the demo's comfortable 14 dB.
+        impairment="awgn" if population else args.impairment,
         frames_per_burst=args.frames_per_burst,
-        snr_db=args.snr_db,
+        snr_db=args.cal_snr_db if population else args.snr_db,
+        snr_spread_db=args.cal_spread_db if population else 6.0,
         distance_m=args.distance_m,
+        population=population,
+        calibration_dir=args.calibration_dir,
     )
     result = run_fleet(wave, config, processes=args.processes)
 
     audio_s = wave.size / modem.profile.ofdm.sample_rate
-    unit = {"clean": "", "awgn": " dB", "acoustic": " m"}[args.impairment]
+    unit = {"clean": "", "awgn": " dB", "acoustic": " m"}[config.impairment]
     print(f"{'rx':>4} {'channel':>10} {'frames':>7} {'ok':>5} {'loss':>7}")
     for r in result.reports:
         print(
@@ -225,6 +285,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"({result.receivers_per_s:.1f} receivers/s, "
         f"mean loss {result.mean_loss_rate * 100:.1f}%)"
     )
+    if result.population is not None:
+        _print_population_report(result)
     return 0
 
 
@@ -641,6 +703,48 @@ def _bench_smoke(repo_root: Path) -> int:
             file=sys.stderr,
         )
         return 1
+
+    # --- population gate: Tier-2 statistical fleet rate + determinism ---
+    import dataclasses
+
+    from repro.radio.lossmodel import FrameLossModel
+    from repro.sim.population import PopulationConfig, run_population
+
+    if "fleet_population" not in baseline:
+        print(
+            "error: BENCH_pipeline.json has no fleet_population section — "
+            "run `python -m repro bench -k fleet` once to establish the "
+            "baseline",
+            file=sys.stderr,
+        )
+        return 1
+    pop_config = PopulationConfig(n_receivers=100_000, hours=48.0, master_seed=7)
+    pop = run_population(FrameLossModel(), pop_config)
+    rechunked = run_population(
+        FrameLossModel(), dataclasses.replace(pop_config, chunk_receivers=37_013)
+    )
+    pop_base = baseline["fleet_population"]["receiver_frames_per_s"]
+    pop_now = pop.receiver_frames_per_s
+    print(f"population:      {pop_now:.2e} receiver-frames/s "
+          f"(baseline {pop_base:.2e}, {pop_now / pop_base:.2f}x)")
+    if not np.array_equal(pop.loss_rates, rechunked.loss_rates):
+        print("error: population results depend on chunk partitioning",
+              file=sys.stderr)
+        return 1
+    if pop_now < 1e6:
+        print(
+            f"error: population tier below the 1e6 receiver-frames/s floor "
+            f"({pop_now:.2e})",
+            file=sys.stderr,
+        )
+        return 1
+    if pop_now < 0.7 * pop_base:
+        print(
+            f"error: population tier regressed >30% "
+            f"({pop_now:.2e} vs baseline {pop_base:.2e} receiver-frames/s)",
+            file=sys.stderr,
+        )
+        return 1
     print("perf smoke ok")
     return 0
 
@@ -741,6 +845,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snr-db", type=float, default=14.0)
     p.add_argument("--distance-m", type=float, default=0.9)
     p.add_argument("--processes", type=int, default=None)
+    p.add_argument("--population", type=int, default=0,
+                   help="two-tier mode: also simulate N statistical "
+                        "receivers calibrated from the full-modem fleet "
+                        "(0 = off)")
+    p.add_argument("--hours", type=float, default=48.0,
+                   help="population carousel horizon in hours")
+    p.add_argument("--pages", type=int, default=200,
+                   help="population catalog size (paper's N=200)")
+    p.add_argument("--radius-km", type=float, default=1.0,
+                   help="population coverage-disc radius")
+    p.add_argument("--shadowing-db", type=float, default=4.0,
+                   help="log-normal shadowing sigma for population RSSI")
+    p.add_argument("--chunk-receivers", type=int, default=65_536,
+                   help="population receivers per vectorised batch")
+    p.add_argument("--cal-snr-db", type=float, default=4.0,
+                   help="tier-1 calibration fleet centre SNR (population "
+                        "mode; sweeps the FER transition)")
+    p.add_argument("--cal-spread-db", type=float, default=10.0,
+                   help="tier-1 calibration fleet SNR spread (population mode)")
+    p.add_argument("--calibration-dir", default=None,
+                   help="directory for persisted loss-curve calibrations")
     p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(

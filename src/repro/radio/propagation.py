@@ -36,22 +36,23 @@ def friis_path_loss_db(distance_m: float, frequency_hz: float) -> float:
 
 def rssi_at_distance(
     tx_power_dbm: float,
-    distance_m: float,
+    distance_m,
     frequency_hz: float = 93.7e6,
     path_loss_exponent: float = 2.0,
     reference_m: float = 1.0,
-) -> float:
+):
     """RSSI via a log-distance path-loss model anchored at ``reference_m``.
 
     ``path_loss_exponent`` of 2 is free space; indoor/cluttered
     environments run 2.7-4, which is how a 1 km-rated transmitter ends up
-    at -90 dB well before a kilometre.
+    at -90 dB well before a kilometre.  ``distance_m`` may be a scalar
+    or a numpy array (one RSSI per receiver position).
     """
-    if distance_m < reference_m:
-        distance_m = reference_m
+    distance = np.maximum(np.asarray(distance_m, dtype=np.float64), reference_m)
     ref_loss = friis_path_loss_db(reference_m, frequency_hz)
-    extra = 10.0 * path_loss_exponent * np.log10(distance_m / reference_m)
-    return float(tx_power_dbm - ref_loss - extra)
+    extra = 10.0 * path_loss_exponent * np.log10(distance / reference_m)
+    out = tx_power_dbm - ref_loss - extra
+    return float(out) if np.ndim(distance_m) == 0 else out
 
 
 @dataclass(frozen=True)
@@ -83,6 +84,28 @@ class PropagationModel:
         )
         if self.shadowing_sigma_db > 0 and rng is not None:
             rssi += float(rng.normal(0.0, self.shadowing_sigma_db))
+        return rssi
+
+    def rssi_dbm_batch(
+        self,
+        distances_m: np.ndarray,
+        shadowing_db: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorised RSSI for a whole population of receiver distances.
+
+        ``shadowing_db`` carries externally drawn log-normal shadowing
+        offsets (one per receiver) so the caller controls the RNG — the
+        population tier keys them on counter streams to stay partition-
+        invariant.
+        """
+        rssi = rssi_at_distance(
+            self.tx_power_dbm,
+            np.asarray(distances_m, dtype=np.float64),
+            self.frequency_hz,
+            self.path_loss_exponent,
+        )
+        if shadowing_db is not None:
+            rssi = rssi + shadowing_db
         return rssi
 
     def cnr_db(self, rssi_dbm: float) -> float:

@@ -1,15 +1,24 @@
 """Simulation substrate: time, geometry, workload, and the user study."""
 
 from repro.sim.clock import SimClock
-from repro.sim.geometry import Location, distance_km
+from repro.sim.geometry import Location, PopulationGeometry, distance_km, haversine_km
 from repro.sim.workload import BroadcastWorkload, WorkloadConfig, PageSizeModel
 from repro.sim.userstudy import UserStudy, StudyConfig, RatingRecord
-from repro.sim.receivers import FleetConfig, FleetResult, ReceiverReport, run_fleet
+from repro.sim.population import PopulationConfig, PopulationResult, run_population
+from repro.sim.receivers import (
+    FleetConfig,
+    FleetResult,
+    ReceiverReport,
+    calibrate_loss_model,
+    run_fleet,
+)
 
 __all__ = [
     "SimClock",
     "Location",
+    "PopulationGeometry",
     "distance_km",
+    "haversine_km",
     "BroadcastWorkload",
     "WorkloadConfig",
     "PageSizeModel",
@@ -19,5 +28,9 @@ __all__ = [
     "FleetConfig",
     "FleetResult",
     "ReceiverReport",
+    "PopulationConfig",
+    "PopulationResult",
+    "calibrate_loss_model",
     "run_fleet",
+    "run_population",
 ]

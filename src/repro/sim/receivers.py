@@ -23,16 +23,24 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.modem.modem import Modem
 from repro.radio.channels import AcousticChannel
+from repro.radio.lossmodel import CalibrationStore, FrameLossModel, calibration_digest
+from repro.sim.population import PopulationConfig, PopulationResult, run_population
 from repro.util.rng import derive_rng
 
-__all__ = ["FleetConfig", "ReceiverReport", "FleetResult", "run_fleet"]
+__all__ = [
+    "FleetConfig",
+    "ReceiverReport",
+    "FleetResult",
+    "run_fleet",
+    "calibrate_loss_model",
+]
 
 IMPAIRMENTS = ("clean", "awgn", "acoustic")
 
@@ -58,6 +66,14 @@ class FleetConfig:
     # same way around distance_m.
     distance_m: float = 0.9
     distance_spread_m: float = 0.4
+    # Two-tier mode: with a PopulationConfig, the full-modem receivers
+    # above become Tier 1 — a calibration sample whose decode outcomes
+    # fit the RSSI/SNR -> frame-loss curve driving a Tier-2 statistical
+    # population of population.n_receivers listeners.  The population
+    # inherits this config's master_seed and profile.
+    population: PopulationConfig | None = None
+    # Directory for persisted calibration curves (None = refit per run).
+    calibration_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_receivers < 1:
@@ -68,6 +84,11 @@ class FleetConfig:
             )
         if self.chunk_samples is not None and self.chunk_samples < 1:
             raise ValueError("chunk_samples must be >= 1")
+        if self.population is not None and self.impairment != "awgn":
+            raise ValueError(
+                "population mode calibrates its loss curve from the awgn "
+                "fleet (audio-SNR domain); use impairment='awgn'"
+            )
 
 
 @dataclass(frozen=True)
@@ -92,6 +113,11 @@ class FleetResult:
     reports: tuple[ReceiverReport, ...]
     processes: int
     elapsed_s: float
+    # Two-tier mode only: the fitted (or store-loaded) loss curve and
+    # the Tier-2 statistical population it drove.
+    calibration: FrameLossModel | None = None
+    calibration_cached: bool = False
+    population: PopulationResult | None = None
 
     @property
     def n_receivers(self) -> int:
@@ -109,27 +135,48 @@ class FleetResult:
         return [r.loss_map for r in self.reports]
 
 
-def _impair(
-    waveform: np.ndarray, config: FleetConfig, idx: int
-) -> tuple[np.ndarray, float]:
-    """Apply receiver ``idx``'s channel draw; returns (audio, parameter).
+def _draw_channel(
+    config: FleetConfig, idx: int
+) -> tuple[float, AcousticChannel | None, np.random.Generator]:
+    """Receiver ``idx``'s channel realisation, shared by batch + stream.
 
-    All randomness is keyed on ``(master_seed, "fleet-rx", idx)`` only, so
-    the realisation does not depend on which process runs the receiver.
+    All randomness is keyed on ``(master_seed, "fleet-rx", idx)`` only,
+    so the realisation does not depend on which process runs the
+    receiver.  Returns ``(parameter, acoustic_channel, rng)``: the
+    parameter is the realised SNR (dB), distance (m), or 0.0 for clean;
+    the channel is built only for the acoustic impairment; the rng has
+    consumed exactly the draws both paths share, so callers continue
+    the stream identically (AWGN noise comes out of this same rng in
+    the batch array draw and the chunked stream alike).
     """
     rng = derive_rng(config.master_seed, "fleet-rx", idx)
     if config.impairment == "clean":
-        return waveform, 0.0
+        return 0.0, None, rng
     if config.impairment == "awgn":
         snr_db = config.snr_db + config.snr_spread_db * (rng.random() - 0.5)
-        signal_power = float(np.mean(waveform**2)) if waveform.size else 0.0
-        noise_power = signal_power / (10.0 ** (snr_db / 10.0))
-        noisy = waveform + rng.normal(0.0, np.sqrt(noise_power), waveform.size)
-        return noisy, snr_db
+        return snr_db, None, rng
     distance = config.distance_m + config.distance_spread_m * (rng.random() - 0.5)
     distance = max(0.0, distance)
     channel = AcousticChannel(seed=int(rng.integers(0, 2**31 - 1)))
-    return channel.transmit(waveform, distance), distance
+    return distance, channel, rng
+
+
+def _awgn_sigma(waveform: np.ndarray, snr_db: float) -> float:
+    signal_power = float(np.mean(waveform**2)) if waveform.size else 0.0
+    return float(np.sqrt(signal_power / (10.0 ** (snr_db / 10.0))))
+
+
+def _impair(
+    waveform: np.ndarray, config: FleetConfig, idx: int
+) -> tuple[np.ndarray, float]:
+    """Apply receiver ``idx``'s channel draw; returns (audio, parameter)."""
+    param, channel, rng = _draw_channel(config, idx)
+    if config.impairment == "clean":
+        return waveform, param
+    if config.impairment == "awgn":
+        noisy = waveform + rng.normal(0.0, _awgn_sigma(waveform, param), waveform.size)
+        return noisy, param
+    return channel.transmit(waveform, param), param
 
 
 def _impair_stream(
@@ -144,19 +191,13 @@ def _impair_stream(
     """
     from repro.radio.streams import AwgnStream
 
-    rng = derive_rng(config.master_seed, "fleet-rx", idx)
+    param, channel, rng = _draw_channel(config, idx)
     if config.impairment == "clean":
-        return None, 0.0
+        return None, param
     if config.impairment == "awgn":
-        snr_db = config.snr_db + config.snr_spread_db * (rng.random() - 0.5)
-        signal_power = float(np.mean(waveform**2)) if waveform.size else 0.0
-        noise_power = signal_power / (10.0 ** (snr_db / 10.0))
-        return AwgnStream(rng, np.sqrt(noise_power)), snr_db
-    distance = config.distance_m + config.distance_spread_m * (rng.random() - 0.5)
-    distance = max(0.0, distance)
-    channel = AcousticChannel(seed=int(rng.integers(0, 2**31 - 1)))
+        return AwgnStream(rng, _awgn_sigma(waveform, param)), param
     signal_power = float(np.mean(waveform**2)) if waveform.size else 0.0
-    return channel.stream(distance, waveform.size, signal_power), distance
+    return channel.stream(param, waveform.size, signal_power), param
 
 
 def _receive_one(
@@ -233,30 +274,27 @@ def _run_worker(args: tuple[FleetConfig, int]) -> ReceiverReport:
     return _receive_one(_worker_wave, _worker_modem, config, idx)
 
 
-def run_fleet(
-    waveform: np.ndarray,
-    config: FleetConfig = FleetConfig(),
-    processes: int | None = None,
-) -> FleetResult:
-    """Simulate ``config.n_receivers`` receivers of one broadcast.
-
-    ``processes=None`` picks ``min(n_receivers, cpu_count)``;
-    ``processes<=1`` runs serially in this process (bit-identical loss
-    maps either way, by construction of the per-receiver seeds).
-    """
+def _run_modem_fleet(
+    waveform: np.ndarray, config: FleetConfig, processes: int | None
+) -> tuple[tuple[ReceiverReport, ...], int, float]:
+    """The full-modem (Tier-1) fleet: every receiver runs real DSP."""
     waveform = np.ascontiguousarray(waveform, dtype=np.float64)
     if processes is None:
         processes = min(config.n_receivers, os.cpu_count() or 1)
-    processes = max(1, int(processes))
+    # A pool of one (or a one-receiver fleet) is just the serial path:
+    # the shared-memory segment is created lazily, only when a real
+    # pool will attach to it — serial runs never pay the shm
+    # setup/teardown.
+    processes = max(1, min(int(processes), config.n_receivers))
 
     t0 = time.perf_counter()
     if processes == 1:
         modem = Modem(config.profile)
-        reports = [
+        reports = tuple(
             _receive_one(waveform, modem, config, idx)
             for idx in range(config.n_receivers)
-        ]
-        return FleetResult(tuple(reports), 1, time.perf_counter() - t0)
+        )
+        return reports, 1, time.perf_counter() - t0
 
     shm = shared_memory.SharedMemory(create=True, size=max(waveform.nbytes, 1))
     try:
@@ -267,12 +305,97 @@ def run_fleet(
             initializer=_init_worker,
             initargs=(shm.name, waveform.size, config.profile),
         ) as pool:
-            reports = pool.map(
-                _run_worker,
-                [(config, idx) for idx in range(config.n_receivers)],
-                chunksize=max(1, config.n_receivers // (4 * processes)),
+            reports = tuple(
+                pool.map(
+                    _run_worker,
+                    [(config, idx) for idx in range(config.n_receivers)],
+                    chunksize=max(1, config.n_receivers // (4 * processes)),
+                )
             )
     finally:
         shm.close()
         shm.unlink()
-    return FleetResult(tuple(reports), processes, time.perf_counter() - t0)
+    return reports, processes, time.perf_counter() - t0
+
+
+def _calibration_key(waveform: np.ndarray, config: FleetConfig) -> str:
+    import hashlib
+
+    wave_digest = hashlib.sha256(
+        np.ascontiguousarray(waveform, dtype=np.float64).tobytes()
+    ).hexdigest()[:16]
+    return calibration_digest(
+        config.profile,
+        impairment=config.impairment,
+        snr_db=config.snr_db,
+        snr_spread_db=config.snr_spread_db,
+        frames_per_burst=config.frames_per_burst,
+        n_receivers=config.n_receivers,
+        master_seed=config.master_seed,
+        waveform=wave_digest,
+    )
+
+
+def calibrate_loss_model(
+    reports: tuple[ReceiverReport, ...], seed: int = 0
+) -> FrameLossModel:
+    """Fit the RSSI/SNR -> frame-loss curve to Tier-1 fleet outcomes.
+
+    Each AWGN fleet report contributes one sweep point: ``n_frames``
+    decode attempts at its realised audio SNR (``channel_param``), of
+    which ``n_frames - n_ok`` failed.
+    """
+    samples = [
+        (r.channel_param, r.n_frames, r.n_frames - r.n_ok)
+        for r in reports
+        if r.n_frames > 0
+    ]
+    return FrameLossModel.fit_from_runs(samples, seed=seed)
+
+
+def run_fleet(
+    waveform: np.ndarray,
+    config: FleetConfig = FleetConfig(),
+    processes: int | None = None,
+) -> FleetResult:
+    """Simulate ``config.n_receivers`` receivers of one broadcast.
+
+    ``processes=None`` picks ``min(n_receivers, cpu_count)``;
+    ``processes<=1`` runs serially in this process (bit-identical loss
+    maps either way, by construction of the per-receiver seeds).
+
+    With ``config.population`` set, this becomes the two-tier run: the
+    full-modem receivers above are Tier 1, their decode outcomes fit
+    (or a persisted calibration provides) the frame-loss curve, and a
+    Tier-2 statistical population of ``population.n_receivers``
+    listeners runs through :func:`repro.sim.population.run_population`
+    — all under the same master seed, bit-identical for any process or
+    chunk partitioning.
+    """
+    t0 = time.perf_counter()
+    reports, used, _ = _run_modem_fleet(waveform, config, processes)
+    if config.population is None:
+        return FleetResult(reports, used, time.perf_counter() - t0)
+
+    store = CalibrationStore(config.calibration_dir)
+    digest = _calibration_key(waveform, config)
+    model = store.load(digest)
+    cached = model is not None
+    if model is None:
+        model = calibrate_loss_model(reports, seed=config.master_seed)
+        store.save(digest, model)
+
+    pop_config = replace(
+        config.population,
+        master_seed=config.master_seed,
+        profile=config.profile,
+    )
+    population = run_population(model, pop_config, processes=processes)
+    return FleetResult(
+        reports,
+        used,
+        time.perf_counter() - t0,
+        calibration=model,
+        calibration_cached=cached,
+        population=population,
+    )

@@ -1,0 +1,218 @@
+"""Tier-2 statistical population: determinism, physics, two-tier wiring."""
+
+import numpy as np
+import pytest
+
+from repro.modem.modem import Modem
+from repro.radio.lossmodel import FrameLossModel
+from repro.sim.geometry import Location, PopulationGeometry
+from repro.sim.population import PopulationConfig, run_population
+from repro.sim.receivers import FleetConfig, run_fleet
+
+
+@pytest.fixture(scope="module")
+def model() -> FrameLossModel:
+    return FrameLossModel()
+
+
+@pytest.fixture(scope="module")
+def base_config() -> PopulationConfig:
+    return PopulationConfig(n_receivers=20_000, hours=2.0, master_seed=13)
+
+
+@pytest.fixture(scope="module")
+def reference(model, base_config):
+    return run_population(model, base_config)
+
+
+_FIELDS = ("distances_m", "rssi_dbm", "loss_probs", "loss_rates",
+           "pages_decoded", "readability")
+
+
+def _identical(a, b) -> bool:
+    return all(np.array_equal(getattr(a, f), getattr(b, f)) for f in _FIELDS)
+
+
+class TestPartitionInvariance:
+    def test_chunk_size_is_invisible(self, model, base_config, reference):
+        for chunk in (997, 4_096, 20_000, 1_000_000):
+            import dataclasses
+
+            other = run_population(
+                model, dataclasses.replace(base_config, chunk_receivers=chunk)
+            )
+            assert _identical(reference, other)
+
+    def test_pool_equals_serial(self, model, base_config, reference):
+        import dataclasses
+
+        pooled = run_population(
+            model,
+            dataclasses.replace(base_config, chunk_receivers=3_000),
+            processes=2,
+        )
+        assert _identical(reference, pooled)
+
+    def test_rerun_is_identical(self, model, base_config, reference):
+        again = run_population(model, base_config)
+        assert _identical(reference, again)
+
+    def test_master_seed_changes_population(self, model, base_config, reference):
+        import dataclasses
+
+        other = run_population(
+            model, dataclasses.replace(base_config, master_seed=14)
+        )
+        assert not np.array_equal(reference.loss_rates, other.loss_rates)
+        assert not np.array_equal(reference.distances_m, other.distances_m)
+
+    def test_exact_bernoulli_path_partition_invariant(self, model):
+        """Short horizons draw true per-frame Bernoulli; still invariant."""
+        import dataclasses
+
+        cfg = PopulationConfig(
+            n_receivers=2_000,
+            hours=0.05,
+            master_seed=3,
+            exact_frame_threshold=10**9,
+        )
+        a = run_population(model, cfg)
+        assert a.frames_per_receiver <= cfg.exact_frame_threshold
+        b = run_population(model, dataclasses.replace(cfg, chunk_receivers=311))
+        assert _identical(a, b)
+
+
+class TestPhysics:
+    def test_loss_grows_with_distance(self, reference):
+        bands = reference.loss_by_distance(5)
+        means = [m for _, _, m, n in bands if n > 100]
+        assert all(a <= b + 1e-9 for a, b in zip(means, means[1:]))
+        assert means[-1] > means[0]
+
+    def test_rssi_decreases_with_distance(self, reference):
+        near = reference.rssi_dbm[reference.distances_m < 200].mean()
+        far = reference.rssi_dbm[reference.distances_m > 800].mean()
+        assert near > far + 10
+
+    def test_empirical_loss_tracks_model_probability(self, reference):
+        # Long horizon: per-receiver empirical rates concentrate on p_i.
+        err = np.abs(reference.loss_rates - reference.loss_probs)
+        assert float(np.median(err)) < 0.01
+
+    def test_pages_and_readability_follow_loss(self, reference):
+        # A page needs all frames_per_page frames, so only essentially
+        # loss-free receivers are guaranteed the whole catalog: even at
+        # p = 0.01 a 64-frame page decodes with only (1-p)^64 ~ 0.52.
+        perfect = reference.loss_probs < 1e-6
+        bad = reference.loss_rates > 0.99
+        assert perfect.sum() > 100 and bad.sum() > 100
+        assert reference.pages_decoded[perfect].min() == reference.config.pages
+        assert reference.pages_decoded[bad].max() == 0
+        assert reference.readability[perfect].min() > 9.0
+        assert reference.readability[bad].max() < 0.1
+        # And the middle band exists: partially-served listeners.
+        partial = (reference.pages_decoded > 0) & (
+            reference.pages_decoded < reference.config.pages
+        )
+        assert partial.sum() > 100
+
+    def test_positions_fill_the_disc(self, reference):
+        geo = reference.config.geometry
+        assert reference.distances_m.max() <= geo.radius_km * 1000.0 * 1.01
+        assert reference.distances_m.min() >= geo.min_distance_m
+        # Uniform over the disc: median distance ~ radius / sqrt(2).
+        med = np.median(reference.distances_m)
+        assert 0.6 * geo.radius_km * 1000 < med < 0.8 * geo.radius_km * 1000
+
+
+class TestConfig:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(n_receivers=0)
+        with pytest.raises(ValueError):
+            PopulationConfig(hours=0.0)
+        with pytest.raises(ValueError):
+            PopulationConfig(pages=0)
+        with pytest.raises(ValueError):
+            PopulationConfig(chunk_receivers=0)
+        with pytest.raises(ValueError):
+            PopulationGeometry(radius_km=0.0)
+
+    def test_frames_total_follows_profile_timing(self):
+        cfg = PopulationConfig(n_receivers=1, hours=1.0)
+        modem = Modem(cfg.profile)
+        expected = int(3600.0 / modem.frame_duration_s)
+        assert cfg.frames_total() == expected
+
+    def test_explicit_frame_duration_override(self):
+        cfg = PopulationConfig(n_receivers=1, hours=1.0, frame_duration_s=1.0)
+        assert cfg.frames_total() == 3600
+
+    def test_geometry_is_configurable(self, model):
+        cfg = PopulationConfig(
+            n_receivers=500,
+            hours=0.5,
+            geometry=PopulationGeometry(
+                center=Location(33.6844, 73.0479), radius_km=0.2
+            ),
+        )
+        res = run_population(model, cfg)
+        assert res.distances_m.max() <= 200.0 * 1.01
+        # Everyone inside 200 m of a 1 km-rated transmitter decodes.
+        assert res.mean_loss_rate < 0.05
+
+
+class TestTwoTierFleet:
+    @pytest.fixture(scope="class")
+    def broadcast(self):
+        modem = Modem("sonic-ofdm")
+        rng = np.random.default_rng(41)
+        return modem.transmit_burst(
+            [
+                rng.integers(0, 256, modem.frame_payload_size, dtype=np.uint8).tobytes()
+                for _ in range(8)
+            ]
+        )
+
+    @pytest.fixture(scope="class")
+    def config(self, tmp_path_factory):
+        return FleetConfig(
+            n_receivers=6,
+            master_seed=17,
+            impairment="awgn",
+            snr_db=4.0,
+            snr_spread_db=10.0,
+            frames_per_burst=8,
+            population=PopulationConfig(n_receivers=5_000, hours=1.0),
+            calibration_dir=str(tmp_path_factory.mktemp("calibration")),
+        )
+
+    def test_two_tier_run(self, broadcast, config):
+        result = run_fleet(broadcast, config, processes=1)
+        assert len(result.reports) == 6
+        assert result.population is not None
+        assert result.population.n_receivers == 5_000
+        assert result.calibration is not None
+        assert result.calibration.fer_scale_db > 0
+        assert not result.calibration_cached
+
+    def test_repeat_run_hits_calibration_store(self, broadcast, config):
+        first = run_fleet(broadcast, config, processes=1)
+        second = run_fleet(broadcast, config, processes=1)
+        assert second.calibration_cached
+        assert second.calibration.fer_midpoint_db == first.calibration.fer_midpoint_db
+        assert np.array_equal(
+            first.population.loss_rates, second.population.loss_rates
+        )
+
+    def test_population_inherits_seed_and_profile(self, broadcast, config):
+        result = run_fleet(broadcast, config, processes=1)
+        assert result.population.config.master_seed == config.master_seed
+        assert result.population.config.profile == config.profile
+
+    def test_population_requires_awgn_calibration(self):
+        with pytest.raises(ValueError):
+            FleetConfig(
+                impairment="acoustic",
+                population=PopulationConfig(n_receivers=10),
+            )
