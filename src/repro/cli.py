@@ -10,6 +10,7 @@ curious user would actually run:
 * ``modem-tx / modem-rx``  bytes <-> playable WAV audio
 * ``simulate``             run the end-to-end system and report
 * ``catalog``              top-N catalog: render -> encode -> modem -> decode
+* ``serve``                batched SMS request front end over a simulated day
 * ``bench``                run the perf benchmarks (BENCH_pipeline.json)
 """
 
@@ -519,6 +520,113 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0 if ok_pages == result.n_pages else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a simulated SMS request day through the async front end."""
+    from repro.server.frontend import (
+        CatalogResolver,
+        FrontendConfig,
+        RequestFrontend,
+        SizeModelResolver,
+    )
+    from repro.server.ledger import RequestLedger
+    from repro.sim.workload import RequestTraceConfig, generate_requests
+    from repro.web.sites import SiteGenerator
+
+    if args.resolver == "catalog":
+        from repro.server.cache import BundleStore
+        from repro.server.catalog import CatalogConfig, CatalogPipeline
+
+        pipeline = CatalogPipeline(
+            CatalogConfig(
+                seed=args.seed,
+                n_sites=args.sites,
+                width=360,
+                max_height=1_200,
+                quality=10,
+            ),
+            store=BundleStore(directory=args.store) if args.store else None,
+        )
+        resolver = CatalogResolver(pipeline, processes=args.processes)
+    else:
+        resolver = SizeModelResolver(
+            SiteGenerator(seed=args.seed, n_sites=args.sites),
+            max_page_bytes=args.max_page_kb * 1024 if args.max_page_kb else None,
+        )
+
+    n_pages = min(args.pages, len(resolver.urls))
+    trace = generate_requests(
+        RequestTraceConfig(
+            hours=args.hours,
+            n_pages=n_pages,
+            rate_per_s=args.rate_per_s,
+            n_requests=args.requests,
+            seed=args.seed,
+        )
+    )
+    print(
+        f"trace: {trace.n_requests:,} requests over {args.hours:.1f} h "
+        f"across {n_pages} pages (seed {args.seed})"
+    )
+
+    frontend = RequestFrontend(
+        resolver,
+        FrontendConfig(
+            rate_bps=args.rate,
+            tick_s=args.tick_s,
+            max_batch=args.max_batch,
+            max_backlog_bytes=args.max_backlog_kb * 1024,
+            defer_capacity=args.defer_capacity,
+        ),
+        ledger=RequestLedger(args.ledger) if args.ledger else None,
+    )
+
+    def progress(f: RequestFrontend) -> None:
+        h = f.health()
+        print(
+            f"t={h['sim_hours']:5.1f}h  submitted {int(h['submitted']):>9,}  "
+            f"queue {int(h['queue_depth_pages']):>4} pages / "
+            f"{h['backlog_mb']:6.2f} MB  deferred {int(h['deferred']):>5}  "
+            f"coalesce {h['coalesce_ratio'] * 100:5.1f}%  "
+            f"shed {int(h['shed']):>6}"
+        )
+
+    result = frontend.run(
+        trace, serial=args.serial, progress=progress,
+        progress_every=args.progress_every,
+    )
+    frontend.ledger.reconcile()
+
+    stats = result.stats
+    mode = "serial" if args.serial else "async-batched"
+    print(
+        f"\n{mode}: {result.n_requests:,} requests in {result.elapsed_s:.2f}s "
+        f"({result.requests_per_s:,.0f} req/s, "
+        f"{stats.batches:,} batches of {stats.mean_batch_size:.1f})"
+    )
+    print(
+        f"latency: p50 {result.p50_latency_s:.1f}s  "
+        f"p90 {result.p90_latency_s:.1f}s  p99 {result.p99_latency_s:.1f}s  "
+        f"(request -> broadcast, {100 * result.served_fraction:.1f}% served)"
+    )
+    print(
+        f"pages: {stats.enqueued_pages:,} transmissions for "
+        f"{stats.submitted:,} requests "
+        f"({100 * stats.coalesce_ratio:.1f}% coalesced, "
+        f"{stats.replaced_pages} epoch replacements), "
+        f"store {result.store_hits}/{result.store_hits + result.store_misses} hits"
+    )
+    print(
+        f"backpressure: {stats.deferred:,} deferred "
+        f"({stats.retried:,} retried), {stats.shed:,} shed, "
+        f"peak backlog {stats.peak_backlog_bytes / 1e6:.2f} MB, "
+        f"peak ingest depth {stats.peak_queue_depth} cohorts"
+    )
+    if args.ledger:
+        print(f"ledger: {len(frontend.ledger):,} rows -> {args.ledger}")
+    frontend.ledger.close()
+    return 0
+
+
 def _bench_smoke(repo_root: Path) -> int:
     """Fast perf regression gate against the checked-in baseline JSON."""
     import json
@@ -745,6 +853,88 @@ def _bench_smoke(repo_root: Path) -> int:
             file=sys.stderr,
         )
         return 1
+
+    # --- request front end gate: batched SMS ingest rate + determinism ---
+    from repro.server.frontend import (
+        FrontendConfig,
+        RequestFrontend,
+        SizeModelResolver,
+    )
+    from repro.sim.workload import RequestTraceConfig, generate_requests
+
+    if "request_frontend" not in baseline:
+        print(
+            "error: BENCH_pipeline.json has no request_frontend section — "
+            "run `python -m repro bench -k frontend` once to establish the "
+            "baseline",
+            file=sys.stderr,
+        )
+        return 1
+
+    from repro.server.ledger import RequestLedger
+
+    def _frontend(trace, serial=False, ledger=None):
+        fe = RequestFrontend(
+            SizeModelResolver(
+                SiteGenerator(seed=7, n_sites=25), max_page_bytes=12 * 1024
+            ),
+            FrontendConfig(),
+            ledger=ledger,
+        )
+        return fe, fe.run(trace, serial=serial)
+
+    # The smoke day's ledger lands next to the other bench artifacts so
+    # CI can upload it and a failing latency number can be dissected.
+    ledger_dir = repo_root / "benchmarks" / "output"
+    ledger_dir.mkdir(exist_ok=True)
+    ledger_path = ledger_dir / "request_ledger.sqlite"
+    ledger_path.unlink(missing_ok=True)
+    trace = generate_requests(
+        RequestTraceConfig(hours=4.0, n_pages=100, n_requests=100_000, seed=42)
+    )
+    fe, res = _frontend(trace, ledger=RequestLedger(ledger_path))
+    fe.ledger.reconcile()
+    fe.ledger.close()
+    fe_base = baseline["request_frontend"]["requests_per_s"]
+    print(
+        f"request ingest:  {res.requests_per_s:,.0f} req/s "
+        f"(baseline {fe_base:,.0f}, {res.requests_per_s / fe_base:.2f}x), "
+        f"p50/p99 {res.p50_latency_s:.0f}/{res.p99_latency_s:.0f}s "
+        f"at {res.n_requests:,} queued requests"
+    )
+    if res.served_fraction < 1.0:
+        print(
+            f"error: front end served only "
+            f"{100 * res.served_fraction:.2f}% of requests",
+            file=sys.stderr,
+        )
+        return 1
+    if res.requests_per_s < 1e5:
+        print(
+            f"error: request ingest below the 1e5 requests/s floor "
+            f"({res.requests_per_s:,.0f})",
+            file=sys.stderr,
+        )
+        return 1
+    if res.requests_per_s < 0.7 * fe_base:
+        print(
+            f"error: request ingest regressed >30% "
+            f"({res.requests_per_s:,.0f} vs baseline {fe_base:,.0f} req/s)",
+            file=sys.stderr,
+        )
+        return 1
+    small = generate_requests(
+        RequestTraceConfig(hours=2.0, n_pages=100, n_requests=20_000, seed=3)
+    )
+    fe_async, _ = _frontend(small)
+    fe_serial, _ = _frontend(small, serial=True)
+    if fe_async.ledger.digest() != fe_serial.ledger.digest():
+        print(
+            "error: async-batched ledger diverged from the serial reference",
+            file=sys.stderr,
+        )
+        return 1
+    print("request ledger:  serial == async-batched (digest match)")
     print("perf smoke ok")
     return 0
 
@@ -914,6 +1104,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default=None,
                    help="directory for the persistent bundle store")
     p.set_defaults(func=_cmd_catalog)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a simulated SMS request day through the async front end",
+    )
+    p.add_argument("--hours", type=float, default=24.0,
+                   help="simulated request-day length")
+    p.add_argument("--requests", type=int, default=None,
+                   help="exact request count (default: Poisson at --rate-per-s)")
+    p.add_argument("--rate-per-s", type=float, default=12.0,
+                   help="mean SMS arrival rate (requests/second)")
+    p.add_argument("--pages", type=int, default=100,
+                   help="distinct pages in the Zipf request mix")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--sites", type=int, default=25)
+    p.add_argument("--rate", type=float, default=20_000.0,
+                   help="FM broadcast rate in bits/s")
+    p.add_argument("--tick-s", type=float, default=10.0,
+                   help="batch window / carousel drain granularity")
+    p.add_argument("--max-batch", type=int, default=8192,
+                   help="max requests per dispatch batch")
+    p.add_argument("--max-backlog-kb", type=int, default=4_000,
+                   help="carousel saturation threshold (backpressure)")
+    p.add_argument("--defer-capacity", type=int, default=20_000,
+                   help="parked requests before shedding")
+    p.add_argument("--max-page-kb", type=int, default=12,
+                   help="cap modelled page size (0 = real modelled sizes)")
+    p.add_argument("--resolver", choices=["size-model", "catalog"],
+                   default="size-model",
+                   help="size-model prices pages; catalog renders+encodes them")
+    p.add_argument("--store", default=None,
+                   help="bundle store directory (catalog resolver)")
+    p.add_argument("--processes", type=int, default=None,
+                   help="render+encode pool size (catalog resolver)")
+    p.add_argument("--ledger", default=None,
+                   help="sqlite path for the persistent request ledger "
+                        "(default: in-memory)")
+    p.add_argument("--serial", action="store_true",
+                   help="one-request-at-a-time reference mode")
+    p.add_argument("--progress-every", type=int, default=2000,
+                   help="print service health every N batches")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("simulate", help="run the end-to-end system")
     p.add_argument("--seconds", type=float, default=1_800.0)

@@ -14,10 +14,27 @@ from repro.server.transmitters import (
     TransmitterRegistry,
     payload_digest,
 )
+from repro.server.frontend import (
+    CatalogResolver,
+    FrontendConfig,
+    FrontendResult,
+    FrontendStats,
+    RequestFrontend,
+    SizeModelResolver,
+)
+from repro.server.ledger import LedgerStats, RequestLedger
 from repro.server.scheduler import PopularityScheduler, SchedulerConfig
 from repro.server.server import SonicServer, ServerConfig
 
 __all__ = [
+    "CatalogResolver",
+    "FrontendConfig",
+    "FrontendResult",
+    "FrontendStats",
+    "RequestFrontend",
+    "SizeModelResolver",
+    "LedgerStats",
+    "RequestLedger",
     "PageCache",
     "CachedPage",
     "BroadcastEncodeCache",

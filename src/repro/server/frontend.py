@@ -1,0 +1,559 @@
+"""Asyncio SMS request front end: batched ingest at carousel scale.
+
+SONIC's uplink is SMS page requests feeding the broadcast carousel
+(Section 3.1).  This module turns the one-message-at-a-time simulation
+into a request-serving *service*: a bounded asyncio ingest queue fed by
+the vectorised request generator, a dispatcher that coalesces identical
+page requests and batches dispatch into the store-backed resolvers, a
+persistent sqlite ledger of every request's life cycle, and explicit
+backpressure when the carousel saturates.
+
+The dataflow::
+
+    generate_requests -> ingest queue -> dedup/coalesce -> resolve batch
+        (cohorts)        (bounded)       (per unique URL)  (BundleStore /
+                                                            size model)
+                              |                                  |
+                              v                                  v
+                        RequestLedger  <-  carousel drain  <- enqueue
+                      (submit/ack/sched/     (tick clock)    (+ shed /
+                       broadcast times)                       deferral)
+
+Determinism: all outcome-changing state (carousel drain, deferred
+retries) advances only at tick boundaries, and requests are processed in
+arrival order within a tick, so *any* partitioning of the request stream
+into dispatch batches — including the degenerate one-request-at-a-time
+serial mode — produces a bit-identical ledger.  That is the async
+analogue of the fleet simulator's counter-RNG chunk invariance, and the
+``repro bench`` gate checks it on every run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+import numpy as np
+
+from repro.server.ledger import LedgerStats, RequestLedger
+from repro.sim.workload import PageSizeModel, RequestTrace
+from repro.transport.carousel import BroadcastCarousel, CarouselItem
+from repro.web.sites import SiteGenerator
+
+__all__ = [
+    "FrontendConfig",
+    "FrontendStats",
+    "FrontendResult",
+    "PageResolver",
+    "SizeModelResolver",
+    "CatalogResolver",
+    "RequestFrontend",
+]
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Service knobs: clocking, batching, and backpressure."""
+
+    rate_bps: float = 20_000.0  # carousel drain rate
+    tick_s: float = 10.0  # batch window and drain granularity
+    max_batch: int = 8192  # requests per dispatch batch
+    queue_cohorts: int = 64  # bounded ingest queue (in cohorts)
+    max_backlog_bytes: int = 4_000_000  # carousel saturation threshold
+    defer_capacity: int = 20_000  # parked requests before shedding
+    request_priority: float = 100.0  # matches SchedulerConfig
+    drain_grace_hours: float = 4.0  # post-trace drain horizon
+    commit_every_ticks: int = 360  # ledger commit cadence
+
+
+@dataclass
+class FrontendStats:
+    """Health and throughput counters, updated as the service runs."""
+
+    submitted: int = 0
+    coalesced: int = 0  # requests attached to an already-queued page
+    enqueued_pages: int = 0  # new page transmissions scheduled
+    replaced_pages: int = 0  # queued page superseded by a fresh epoch
+    deferred: int = 0  # requests parked by backpressure
+    retried: int = 0  # deferred requests that made it on air
+    shed: int = 0  # requests dropped (deferral buffer full)
+    broadcast_pages: int = 0
+    broadcast_requests: int = 0
+    batches: int = 0
+    ticks: int = 0
+    peak_backlog_bytes: int = 0
+    peak_queue_depth: int = 0  # ingest queue, in cohorts
+    peak_deferred: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.submitted / self.batches if self.batches else 0.0
+
+    @property
+    def coalesce_ratio(self) -> float:
+        return self.coalesced / self.submitted if self.submitted else 0.0
+
+    @property
+    def shed_ratio(self) -> float:
+        return self.shed / self.submitted if self.submitted else 0.0
+
+
+class PageResolver(Protocol):
+    """What the dispatcher needs from the page-production layer."""
+
+    urls: list[str]
+    store_hits: int
+    store_misses: int
+
+    def epoch(self, url_index: int, hour: int) -> int: ...
+
+    def resolve_batch(
+        self, url_indices: list[int], hour: int
+    ) -> list[tuple[int, int, bool]]:
+        """(size_bytes, epoch, from_store) per index, in order."""
+        ...
+
+
+class SizeModelResolver:
+    """Prices pages via :class:`PageSizeModel` — the million-request path.
+
+    Emulates the :class:`~repro.server.cache.BundleStore` exactly at the
+    accounting level: the first resolve of a (url, epoch) pair is a miss
+    (a render+encode), every later resolve is a store hit.  ``max_page_bytes``
+    caps sizes the same way ``repro stream --max-page-kb`` does, keeping
+    short simulated days meaningful at FM rates.
+    """
+
+    def __init__(
+        self,
+        generator: SiteGenerator,
+        quality: int = 10,
+        max_page_bytes: int | None = None,
+    ) -> None:
+        self.generator = generator
+        self.urls = generator.all_urls()
+        self.size_model = PageSizeModel(generator, quality=quality)
+        self.max_page_bytes = max_page_bytes
+        self.store_hits = 0
+        self.store_misses = 0
+        self._epochs: dict[tuple[int, int], int] = {}
+        self._sizes: dict[tuple[int, int], int] = {}
+
+    def epoch(self, url_index: int, hour: int) -> int:
+        key = (url_index, hour)
+        epoch = self._epochs.get(key)
+        if epoch is None:
+            epoch = self.generator.effective_epoch(self.urls[url_index], hour)
+            self._epochs[key] = epoch
+        return epoch
+
+    def resolve_batch(
+        self, url_indices: list[int], hour: int
+    ) -> list[tuple[int, int, bool]]:
+        out = []
+        for i in url_indices:
+            epoch = self.epoch(i, hour)
+            key = (i, epoch)
+            size = self._sizes.get(key)
+            if size is not None:
+                self.store_hits += 1
+                out.append((size, epoch, True))
+                continue
+            size = self.size_model.size_at(self.urls[i], epoch)
+            if self.max_page_bytes is not None:
+                size = min(size, self.max_page_bytes)
+            self._sizes[key] = size
+            self.store_misses += 1
+            out.append((size, epoch, False))
+        return out
+
+
+class CatalogResolver:
+    """Real render+encode dispatch through the pooled catalog pipeline.
+
+    Batched misses fan out over the :class:`CatalogPipeline` pool and
+    land in its :class:`~repro.server.cache.BundleStore`, so N requests
+    for a hot page cost exactly one render+encode — and a warm store
+    (an earlier hour, a previous run) costs none.
+    """
+
+    def __init__(self, pipeline, processes: int | None = None) -> None:
+        from repro.server.catalog import CatalogPipeline
+
+        assert isinstance(pipeline, CatalogPipeline)
+        self.pipeline = pipeline
+        self.processes = processes
+        self.urls = pipeline.generator.all_urls()
+        self.store_hits = 0
+        self.store_misses = 0
+        self._epochs: dict[tuple[int, int], int] = {}
+
+    def epoch(self, url_index: int, hour: int) -> int:
+        key = (url_index, hour)
+        epoch = self._epochs.get(key)
+        if epoch is None:
+            epoch = self.pipeline.generator.effective_epoch(
+                self.urls[url_index], hour
+            )
+            self._epochs[key] = epoch
+        return epoch
+
+    def resolve_batch(
+        self, url_indices: list[int], hour: int
+    ) -> list[tuple[int, int, bool]]:
+        result = self.pipeline.encode_catalog(
+            urls=[self.urls[i] for i in url_indices],
+            hour=hour,
+            processes=self.processes,
+        )
+        self.store_hits += result.store_hits
+        self.store_misses += result.encoded
+        return [(len(p.data), p.epoch, p.from_store) for p in result.pages]
+
+
+@dataclass(frozen=True)
+class FrontendResult:
+    """Outcome of one :meth:`RequestFrontend.run`."""
+
+    stats: FrontendStats
+    ledger_stats: LedgerStats
+    n_requests: int
+    elapsed_s: float
+    store_hits: int
+    store_misses: int
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.n_requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def store_hit_rate(self) -> float:
+        total = self.store_hits + self.store_misses
+        return self.store_hits / total if total else 0.0
+
+    @property
+    def served_fraction(self) -> float:
+        if self.n_requests == 0:
+            return 0.0
+        return self.ledger_stats.n_broadcast / self.n_requests
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.ledger_stats.percentile(50.0)
+
+    @property
+    def p90_latency_s(self) -> float:
+        return self.ledger_stats.percentile(90.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.ledger_stats.percentile(99.0)
+
+
+class RequestFrontend:
+    """Batched request-serving service over one transmitter's carousel."""
+
+    def __init__(
+        self,
+        resolver: PageResolver,
+        config: FrontendConfig = FrontendConfig(),
+        ledger: RequestLedger | None = None,
+    ) -> None:
+        self.resolver = resolver
+        self.config = config
+        self.ledger = ledger if ledger is not None else RequestLedger()
+        self.carousel = BroadcastCarousel(config.rate_bps)
+        self.stats = FrontendStats()
+        self._url_to_index = {u: i for i, u in enumerate(resolver.urls)}
+        self._active: dict[int, int] = {}  # url_index -> queued epoch
+        self._waiting: dict[int, list[np.ndarray]] = {}  # url_index -> req ids
+        self._deferred: deque[tuple[int, int]] = deque()  # (req_id, url_index)
+        self._tick = 0  # completed tick boundaries; sim now = _tick * tick_s
+
+    @property
+    def now(self) -> float:
+        return self._tick * self.config.tick_s
+
+    # -- tick clock ------------------------------------------------------------
+
+    def advance_to_tick(self, tick: int) -> None:
+        """Drain the carousel tick by tick up to ``tick`` boundaries.
+
+        Every boundary completes due transmissions (stamping broadcast
+        times in the ledger) and then retries deferred requests, so the
+        outcome stream is a pure function of the tick clock — never of
+        how the ingest was batched.
+        """
+        cfg = self.config
+        while self._tick < tick:
+            finished = self.carousel.drain(cfg.tick_s)
+            self._tick += 1
+            self.stats.ticks += 1
+            t = self._tick * cfg.tick_s
+            for url in finished:
+                self._complete(url, t)
+            if self._deferred:
+                self._retry_deferred(t)
+            backlog = self.carousel.backlog_bytes()
+            if backlog > self.stats.peak_backlog_bytes:
+                self.stats.peak_backlog_bytes = backlog
+            if self._tick % cfg.commit_every_ticks == 0:
+                self.ledger.commit()
+
+    def _complete(self, url: str, t: float) -> None:
+        index = self._url_to_index[url]
+        self._active.pop(index, None)
+        arrays = self._waiting.pop(index, None)
+        self.stats.broadcast_pages += 1
+        if arrays:
+            ids = np.concatenate(arrays) if len(arrays) > 1 else arrays[0]
+            self.ledger.mark_broadcast(ids, t)
+            self.stats.broadcast_requests += int(ids.size)
+
+    def _retry_deferred(self, t: float) -> None:
+        """FIFO retry of parked requests; stops at the first still-blocked."""
+        cfg = self.config
+        hour = int(t // 3600)
+        while self._deferred:
+            req_id, index = self._deferred[0]
+            epoch = self.resolver.epoch(index, hour)
+            if self._active.get(index) == epoch:
+                self._attach(index, np.array([req_id], dtype=np.int64))
+                self.stats.coalesced -= 1  # attach() counts; retries aren't new
+            else:
+                ((size, epoch, _),) = self.resolver.resolve_batch([index], hour)
+                if (
+                    index not in self._active
+                    and self.carousel.backlog_bytes() + size
+                    > cfg.max_backlog_bytes
+                ):
+                    break
+                self._enqueue_page(index, epoch, size)
+                self._attach(index, np.array([req_id], dtype=np.int64))
+                self.stats.coalesced -= 1
+            self._deferred.popleft()
+            self.ledger.mark_scheduled(np.array([req_id]), t)
+            self.stats.retried += 1
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _attach(self, index: int, ids: np.ndarray) -> None:
+        self._waiting.setdefault(index, []).append(ids)
+        self.stats.coalesced += int(ids.size)
+
+    def _enqueue_page(self, index: int, epoch: int, size: int) -> None:
+        replacing = index in self._active
+        self._active[index] = epoch
+        self.carousel.enqueue(
+            CarouselItem(
+                self.resolver.urls[index],
+                size,
+                priority=self.config.request_priority,
+                digest=f"{index}:{epoch}",
+            )
+        )
+        if replacing:
+            self.stats.replaced_pages += 1
+        else:
+            self.stats.enqueued_pages += 1
+
+    def submit_batch(
+        self, req_ids: np.ndarray, url_index: np.ndarray, times: np.ndarray
+    ) -> None:
+        """Dispatch one cohort (all arrivals within the current tick).
+
+        Resolution is batched: every URL in the cohort not already on air
+        at the current epoch costs exactly one resolve, however many
+        requests want it — that is the N-requests-one-render win.  The
+        *decisions* (enqueue / attach / defer / shed) then replay in
+        strict arrival order, because backpressure state (backlog, the
+        deferral buffer) mutates per request; that replay is what makes
+        the outcome stream identical for any batch partitioning,
+        including the serial one-request cohorts.
+        """
+        cfg = self.config
+        t = self.now
+        hour = int(t // 3600)
+        n = int(req_ids.size)
+        stats = self.stats
+        stats.submitted += n
+        stats.batches += 1
+        resolver = self.resolver
+        active = self._active
+
+        # One batched resolve per cohort: pure in (url, hour), so *when*
+        # it runs relative to the walk below cannot change any outcome.
+        resolved: dict[int, tuple[int, int]] = {}  # url -> (size, epoch)
+        need = [
+            u
+            for u in np.unique(url_index).tolist()
+            if active.get(u) != resolver.epoch(u, hour)
+        ]
+        if need:
+            for u, (size, epoch, _) in zip(need, resolver.resolve_batch(need, hour)):
+                resolved[u] = (size, epoch)
+
+        # Arrival-order walk.  Outcomes accumulate into per-URL buckets so
+        # ledger writes and waiting-list appends stay batched.
+        q_ids: dict[int, list] = {}
+        q_ts: dict[int, list] = {}
+        d_ids: dict[int, list] = {}
+        d_ts: dict[int, list] = {}
+        s_ids: dict[int, list] = {}
+        s_ts: dict[int, list] = {}
+        deferred = self._deferred
+        backlog_limit = cfg.max_backlog_bytes
+        defer_capacity = cfg.defer_capacity
+        backlog_bytes = self.carousel.backlog_bytes
+        for rid, u, ts in zip(
+            req_ids.tolist(), url_index.tolist(), times.tolist()
+        ):
+            info = resolved.get(u)
+            if info is None or active.get(u) == info[1]:
+                # On air at the current epoch — either before this cohort
+                # (never resolved) or enqueued earlier in this walk.
+                q_ids.setdefault(u, []).append(rid)
+                q_ts.setdefault(u, []).append(ts)
+                stats.coalesced += 1
+            elif u in active or backlog_bytes() + info[0] <= backlog_limit:
+                # A fresh epoch of an already-queued page replaces it in
+                # place (no saturation check: its airtime is already
+                # committed); a new page must clear the backlog threshold.
+                self._enqueue_page(u, info[1], info[0])
+                q_ids.setdefault(u, []).append(rid)
+                q_ts.setdefault(u, []).append(ts)
+            elif len(deferred) < defer_capacity:
+                deferred.append((rid, u))
+                stats.deferred += 1
+                if len(deferred) > stats.peak_deferred:
+                    stats.peak_deferred = len(deferred)
+                d_ids.setdefault(u, []).append(rid)
+                d_ts.setdefault(u, []).append(ts)
+            else:
+                stats.shed += 1
+                s_ids.setdefault(u, []).append(rid)
+                s_ts.setdefault(u, []).append(ts)
+
+        ledger = self.ledger
+        for u, rids in q_ids.items():
+            self._waiting.setdefault(u, []).append(
+                np.asarray(rids, dtype=np.int64)
+            )
+            ledger.insert(rids, u, q_ts[u], t, t, "queued")
+        for u, rids in d_ids.items():
+            ledger.insert(rids, u, d_ts[u], t, None, "deferred")
+        for u, rids in s_ids.items():
+            ledger.insert(rids, u, s_ts[u], t, None, "shed")
+
+    # -- drivers ------------------------------------------------------------
+
+    def _cohorts(
+        self, trace: RequestTrace, max_batch: int
+    ) -> Iterator[tuple[int, np.ndarray, np.ndarray, np.ndarray]]:
+        """Slice the trace into per-tick cohorts of at most ``max_batch``."""
+        times = trace.times
+        n = times.size
+        if n == 0:
+            return
+        ticks = (times // self.config.tick_s).astype(np.int64)
+        req_ids = np.arange(n, dtype=np.int64)
+        boundaries = np.flatnonzero(np.diff(ticks)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        for s, e in zip(starts, ends):
+            k = int(ticks[s])
+            for b in range(int(s), int(e), max_batch):
+                c = min(b + max_batch, int(e))
+                yield k, req_ids[b:c], trace.url_index[b:c], times[b:c]
+
+    def _dispatch_cohort(self, cohort) -> None:
+        k, ids, urls, times = cohort
+        # Cohort k holds arrivals in [k*T, (k+1)*T): the batch window
+        # closes — and dispatch happens — at the (k+1) boundary.
+        self.advance_to_tick(k + 1)
+        self.submit_batch(ids, urls, times)
+
+    async def _run_async(self, trace: RequestTrace, progress, progress_every) -> None:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.queue_cohorts)
+
+        async def produce() -> None:
+            for cohort in self._cohorts(trace, self.config.max_batch):
+                await queue.put(cohort)
+            await queue.put(None)
+
+        async def dispatch() -> None:
+            while True:
+                cohort = await queue.get()
+                depth = queue.qsize()
+                if depth > self.stats.peak_queue_depth:
+                    self.stats.peak_queue_depth = depth
+                if cohort is None:
+                    return
+                self._dispatch_cohort(cohort)
+                if progress is not None and self.stats.batches % progress_every == 0:
+                    progress(self)
+
+        await asyncio.gather(produce(), dispatch())
+
+    def _run_serial(self, trace: RequestTrace, progress, progress_every) -> None:
+        for cohort in self._cohorts(trace, max_batch=1):
+            self._dispatch_cohort(cohort)
+            if progress is not None and self.stats.batches % progress_every == 0:
+                progress(self)
+
+    def finish(self, trace: RequestTrace) -> None:
+        """Drain queued work after the last arrival, bounded by the grace
+        horizon so an oversized head-of-line page cannot spin forever."""
+        cfg = self.config
+        horizon = math.ceil(
+            (trace.duration_s + cfg.drain_grace_hours * 3600.0) / cfg.tick_s
+        )
+        while (
+            self.carousel.queue_length() or self._deferred
+        ) and self._tick < horizon:
+            self.advance_to_tick(self._tick + 1)
+        self.ledger.commit()
+
+    def run(
+        self,
+        trace: RequestTrace,
+        serial: bool = False,
+        progress=None,
+        progress_every: int = 500,
+    ) -> FrontendResult:
+        """Serve a whole trace; ``serial=True`` is the one-at-a-time
+        reference whose ledger the batched run must reproduce exactly."""
+        t0 = time.perf_counter()
+        if serial:
+            self._run_serial(trace, progress, progress_every)
+        else:
+            asyncio.run(self._run_async(trace, progress, progress_every))
+        self.finish(trace)
+        elapsed = time.perf_counter() - t0
+        return FrontendResult(
+            stats=self.stats,
+            ledger_stats=self.ledger.stats(),
+            n_requests=trace.n_requests,
+            elapsed_s=elapsed,
+            store_hits=self.resolver.store_hits,
+            store_misses=self.resolver.store_misses,
+        )
+
+    def health(self) -> dict[str, float]:
+        """Service-health snapshot (the aiosqlite-bot idiom, sim-time)."""
+        s = self.stats
+        return {
+            "sim_hours": self.now / 3600.0,
+            "submitted": s.submitted,
+            "queue_depth_pages": self.carousel.queue_length(),
+            "backlog_mb": self.carousel.backlog_bytes() / 1e6,
+            "deferred": len(self._deferred),
+            "mean_batch": s.mean_batch_size,
+            "coalesce_ratio": s.coalesce_ratio,
+            "shed": s.shed,
+            "broadcast_requests": s.broadcast_requests,
+        }

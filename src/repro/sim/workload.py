@@ -20,10 +20,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.transport.carousel import BroadcastCarousel, CarouselItem
-from repro.util.rng import derive_rng
+from repro.util.rng import counter_uniforms, derive_key, derive_rng
 from repro.web.sites import SiteGenerator
 
-__all__ = ["PageSizeModel", "WorkloadConfig", "BroadcastWorkload"]
+__all__ = [
+    "PageSizeModel",
+    "WorkloadConfig",
+    "BroadcastWorkload",
+    "RequestTraceConfig",
+    "RequestTrace",
+    "generate_requests",
+]
 
 # Median Q10/PH10k encoded size (bytes) per category, calibrated against
 # SWebp measurements of the generator's corpus.
@@ -69,6 +76,92 @@ class PageSizeModel:
         """Size of the page's render at a specific content epoch."""
         jitter = derive_rng(self._gen.seed, "size-jitter", url, epoch)
         return int(self.base_size(url) * float(jitter.lognormal(0.0, _EPOCH_JITTER)))
+
+
+@dataclass(frozen=True)
+class RequestTraceConfig:
+    """One simulated day of SMS page-request traffic.
+
+    URL popularity is Zipf over the corpus's Tranco rank order (the same
+    ``1/rank^0.9`` law :class:`~repro.web.tranco.TrancoList` assigns its
+    popularity weights), and arrivals are a Poisson process under the
+    simulated clock.  With ``n_requests`` set, the trace is the Poisson
+    process conditioned on that exact count — arrival times become order
+    statistics of uniforms — so benchmarks can pin "10⁶ queued requests"
+    precisely; otherwise ``rate_per_s`` drives an unconditioned process.
+    """
+
+    hours: float = 24.0
+    n_pages: int = 100
+    rate_per_s: float = 12.0
+    n_requests: int | None = None  # exact count (overrides rate_per_s)
+    zipf_exponent: float = 0.9  # matches TrancoList's weight law
+    seed: int = 42
+
+    @property
+    def duration_s(self) -> float:
+        return self.hours * 3600.0
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """Arrival times (sorted, seconds) and requested page indices."""
+
+    times: np.ndarray
+    url_index: np.ndarray
+    n_pages: int
+    duration_s: float
+
+    @property
+    def n_requests(self) -> int:
+        return int(self.times.size)
+
+
+def generate_requests(config: RequestTraceConfig) -> RequestTrace:
+    """Vectorised, fully deterministic request-trace generation.
+
+    All draws come from the counter RNG (pure functions of the seed and
+    an absolute draw index), so the trace is bit-identical regardless of
+    how — or in what order — callers slice it into ingest batches.
+    """
+    duration = config.duration_s
+    key_t = derive_key(config.seed, "request-arrivals")
+    key_u = derive_key(config.seed, "request-urls")
+
+    if config.n_requests is not None:
+        n = int(config.n_requests)
+        times = np.sort(counter_uniforms(key_t, np.arange(n)) * duration)
+    else:
+        # Exponential inter-arrival gaps, drawn in blocks of absolute
+        # counters until the cumulative clock passes the horizon.
+        rate = config.rate_per_s
+        if rate <= 0:
+            raise ValueError("rate_per_s must be positive")
+        expected = rate * duration
+        block = int(expected + 10.0 * np.sqrt(expected) + 100)
+        gaps: list[np.ndarray] = []
+        start, total = 0, 0.0
+        while True:
+            u = counter_uniforms(key_t, np.arange(start, start + block))
+            g = -np.log1p(-u) / rate
+            gaps.append(g)
+            start += block
+            total += float(g.sum())
+            if total >= duration:
+                break
+        times = np.cumsum(np.concatenate(gaps))
+        times = times[times < duration]
+        n = times.size
+
+    # Zipf-over-rank page choice: corpus URLs are already in Tranco rank
+    # order, so index i gets weight 1/(i+1)^s.
+    weights = 1.0 / np.arange(1, config.n_pages + 1) ** config.zipf_exponent
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    u = counter_uniforms(key_u, np.arange(n))
+    url_index = np.searchsorted(cdf, u, side="right").astype(np.int32)
+    np.minimum(url_index, config.n_pages - 1, out=url_index)
+    return RequestTrace(times, url_index, config.n_pages, duration)
 
 
 @dataclass(frozen=True)

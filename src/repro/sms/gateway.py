@@ -9,6 +9,7 @@ has passed.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Callable
@@ -32,10 +33,15 @@ class GatewayConfig:
 class SmsGateway:
     """Routes messages between numbers with realistic delays."""
 
-    def __init__(self, config: GatewayConfig = GatewayConfig(), seed: int = 0) -> None:
-        self.config = config
+    def __init__(self, config: GatewayConfig | None = None, seed: int = 0) -> None:
+        self.config = config if config is not None else GatewayConfig()
         self._rng = derive_rng(seed, "sms-gateway")
-        self._in_flight: list[tuple[float, SmsMessage]] = []
+        # Min-heap on (delivery time, submit sequence): delivery order is
+        # identical to the historical re-sort-per-submit list (a stable
+        # sort on time = time then insertion order) at O(log n) a message
+        # instead of O(n log n).
+        self._in_flight: list[tuple[float, int, SmsMessage]] = []
+        self._seq = 0
         self._handlers: dict[str, Callable[[SmsMessage, float], None]] = {}
         self.submitted_count = 0
         self.delivered_count = 0
@@ -58,8 +64,8 @@ class SmsGateway:
             )
         )
         latency += cfg.per_segment_penalty_s * (message.segment_count - 1)
-        self._in_flight.append((now + latency, message))
-        self._in_flight.sort(key=lambda pair: pair[0])
+        heapq.heappush(self._in_flight, (now + latency, self._seq, message))
+        self._seq += 1
         return True
 
     def pending_count(self) -> int:
@@ -71,8 +77,9 @@ class SmsGateway:
         Messages to numbers with a registered handler are dispatched to
         it; all delivered messages are also returned for inspection.
         """
-        due = [m for t, m in self._in_flight if t <= now]
-        self._in_flight = [(t, m) for t, m in self._in_flight if t > now]
+        due: list[SmsMessage] = []
+        while self._in_flight and self._in_flight[0][0] <= now:
+            due.append(heapq.heappop(self._in_flight)[2])
         for message in due:
             self.delivered_count += 1
             handler = self._handlers.get(message.recipient)

@@ -49,6 +49,7 @@ class BroadcastCarousel:
             raise ValueError("rate must be positive")
         self.rate_bps = rate_bps
         self._queue: list[CarouselItem] = []
+        self._backlog = 0  # unsent bytes, kept in lockstep with _queue
         self.total_sent_bytes = 0
         self.completed: list[tuple[str, float]] = []  # (url, completion time)
         self._now = 0.0
@@ -70,7 +71,10 @@ class BroadcastCarousel:
             self._queue.sort(key=lambda q: (-q.priority, q.enqueued_at))
             return
         item.enqueued_at = self._now
-        self._queue = [q for q in self._queue if q.url != item.url]
+        if existing is not None:
+            self._backlog -= existing.remaining_bytes
+            self._queue = [q for q in self._queue if q.url != item.url]
+        self._backlog += item.remaining_bytes
         self._queue.append(item)
         self._queue.sort(key=lambda q: (-q.priority, q.enqueued_at))
 
@@ -91,8 +95,12 @@ class BroadcastCarousel:
         return a.frames[0].header.col == b.frames[0].header.col
 
     def backlog_bytes(self) -> int:
-        """Unsent bytes across the queue — Figure 4(c)'s y-axis."""
-        return sum(item.remaining_bytes for item in self._queue)
+        """Unsent bytes across the queue — Figure 4(c)'s y-axis.
+
+        Maintained incrementally (enqueue/drain/emit update it in place)
+        so the request front end can consult it per batch at O(1).
+        """
+        return self._backlog
 
     def queue_length(self) -> int:
         return len(self._queue)
@@ -117,6 +125,7 @@ class BroadcastCarousel:
             item.sent_bytes += take
             budget -= take
             self.total_sent_bytes += take
+            self._backlog -= take
             if item.remaining_bytes == 0:
                 finished.append(item.url)
                 self.completed.append((item.url, self._now + seconds))
@@ -162,6 +171,7 @@ class BroadcastCarousel:
             if item.frames is None:
                 raise ValueError(f"item {item.url} has no frame payloads")
             if item.frames_sent >= len(item.frames):
+                self._backlog -= item.remaining_bytes
                 self.completed.append((item.url, self._now))
                 self._queue.pop(0)
                 continue
@@ -169,13 +179,16 @@ class BroadcastCarousel:
             item.frames_sent += 1
             # Keep the byte accounting (backlog, ETAs) consistent with
             # the frame progress.
+            sent_before = item.sent_bytes
             item.sent_bytes = min(
                 item.size_bytes,
                 int(item.size_bytes * item.frames_sent / len(item.frames)),
             )
+            self._backlog -= item.sent_bytes - sent_before
             self.total_sent_bytes += FRAME_SIZE
             emitted += 1
             if item.frames_sent >= len(item.frames):
+                self._backlog -= item.remaining_bytes
                 item.sent_bytes = item.size_bytes
                 self.completed.append((item.url, self._now))
                 self._queue.pop(0)

@@ -136,3 +136,29 @@ class TestCli:
         out = capsys.readouterr().out
         assert "awgn channel" in out
         assert "peak rx buffer" in out
+
+    def test_serve(self, tmp_path, capsys):
+        ledger = tmp_path / "requests.sqlite"
+        assert main([
+            "serve", "--hours", "0.5", "--requests", "3000",
+            "--progress-every", "30", "--ledger", str(ledger),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "async-batched: 3,000 requests" in out
+        assert "latency: p50" in out
+        assert "coalesce" in out
+        assert "backpressure:" in out
+        assert ledger.exists()
+        from repro.server.ledger import RequestLedger
+
+        reopened = RequestLedger(ledger)
+        assert sum(reopened.reconcile().values()) == 3000
+        reopened.close()
+
+    def test_serve_serial_mode(self, capsys):
+        assert main([
+            "serve", "--hours", "0.1", "--requests", "200", "--serial",
+            "--progress-every", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serial: 200 requests" in out

@@ -212,3 +212,56 @@ class TestSonicServer:
         b = server.page_id("y.pk/")
         assert a != b
         assert server.page_id("x.pk/") == a
+
+
+class TestBatchedRequests:
+    def test_batch_matches_serial_acks(self, server_env):
+        gateway, generator, registry, server = server_env
+        urls = generator.all_urls()[:3]
+        # Hot page: three users want urls[0], one wants urls[1].
+        batch = [
+            (PageRequest(urls[0], _LAHORE.lat, _LAHORE.lon), f"+9230{i}")
+            for i in range(3)
+        ] + [(PageRequest(urls[1], _LAHORE.lat, _LAHORE.lon), "+92309")]
+        renders_before = server.stats.renders
+        replies = server.handle_page_requests_batch(batch, now=0.0)
+        assert len(replies) == 4
+        acks = [parse_downlink(r) for r in replies]
+        assert all(isinstance(a, RequestAck) for a in acks)
+        assert [a.url for a in acks] == [urls[0]] * 3 + [urls[1]]
+        # N requests for the hot page cost one render each unique page.
+        assert server.stats.renders - renders_before == 2
+        # One carousel transmission per unique page, not per request.
+        tx = registry.covering(_LAHORE)
+        assert tx.carousel.queue_length() == 2
+
+    def test_batch_routes_errors_individually(self, server_env):
+        gateway, generator, registry, server = server_env
+        url = generator.all_urls()[0]
+        batch = [
+            (PageRequest(url, _LAHORE.lat, _LAHORE.lon), "+92301"),
+            (PageRequest("bank.pk/login", _LAHORE.lat, _LAHORE.lon), "+92302"),
+            (PageRequest(url, _KARACHI.lat, _KARACHI.lon), "+92303"),
+            (PageRequest("nowhere.pk/", _LAHORE.lat, _LAHORE.lon), "+92304"),
+        ]
+        replies = [parse_downlink(r) for r in
+                   server.handle_page_requests_batch(batch, now=0.0)]
+        assert isinstance(replies[0], RequestAck)
+        assert isinstance(replies[1], RequestError)
+        assert replies[1].reason == "unsupported-auth"
+        assert isinstance(replies[2], RequestError)
+        assert replies[2].reason == "no-coverage"
+        assert isinstance(replies[3], RequestError)
+        assert replies[3].reason == "unknown-site"
+
+    def test_batch_replies_reach_senders(self, server_env):
+        gateway, generator, registry, server = server_env
+        url = generator.all_urls()[0]
+        inbox = []
+        gateway.register("+92305", lambda m, now: inbox.append(m.text))
+        server.handle_page_requests_batch(
+            [(PageRequest(url, _LAHORE.lat, _LAHORE.lon), "+92305")], now=0.0
+        )
+        gateway.deliver_due(120.0)
+        assert len(inbox) == 1
+        assert isinstance(parse_downlink(inbox[0]), RequestAck)

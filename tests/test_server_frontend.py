@@ -1,0 +1,189 @@
+"""Async SMS request front end: coalescing, backpressure, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.server.frontend import (
+    FrontendConfig,
+    RequestFrontend,
+    SizeModelResolver,
+)
+from repro.server.ledger import RequestLedger
+from repro.sim.workload import RequestTraceConfig, RequestTrace, generate_requests
+from repro.web.sites import SiteGenerator
+
+
+def _resolver(max_page_bytes=12 * 1024, seed=7):
+    return SizeModelResolver(
+        SiteGenerator(seed=seed, n_sites=25), max_page_bytes=max_page_bytes
+    )
+
+
+def _trace(**overrides) -> RequestTrace:
+    defaults = dict(hours=1.0, n_pages=100, n_requests=5_000, seed=11)
+    defaults.update(overrides)
+    return generate_requests(RequestTraceConfig(**defaults))
+
+
+class TestRequestTrace:
+    def test_exact_count_mode(self):
+        trace = _trace(n_requests=1_234)
+        assert trace.n_requests == 1_234
+        assert trace.times.size == trace.url_index.size
+
+    def test_times_sorted_within_duration(self):
+        trace = _trace()
+        assert np.all(np.diff(trace.times) >= 0)
+        assert trace.times[0] >= 0.0
+        assert trace.times[-1] < trace.duration_s
+
+    def test_rate_mode_approximates_rate(self):
+        config = RequestTraceConfig(hours=2.0, n_pages=50, rate_per_s=5.0, seed=3)
+        trace = generate_requests(config)
+        expected = config.rate_per_s * config.duration_s
+        assert 0.9 * expected < trace.n_requests < 1.1 * expected
+
+    def test_deterministic_per_seed(self):
+        a, b = _trace(seed=9), _trace(seed=9)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.url_index, b.url_index)
+        c = _trace(seed=10)
+        assert not np.array_equal(a.times, c.times)
+
+    def test_zipf_head_dominates(self):
+        trace = _trace(n_requests=50_000)
+        counts = np.bincount(trace.url_index, minlength=100)
+        # Rank-0 must beat rank-50 clearly under exponent 0.9.
+        assert counts[0] > 5 * counts[50]
+        assert trace.url_index.min() >= 0
+        assert trace.url_index.max() < 100
+
+
+class TestCoalescing:
+    def test_hot_page_costs_one_transmission(self):
+        # Everyone asks for page 0 within one tick: one enqueue, N-1 coalesced.
+        n = 200
+        trace = RequestTrace(
+            times=np.linspace(0.0, 5.0, n, endpoint=False),
+            url_index=np.zeros(n, dtype=np.int32),
+            n_pages=100,
+            duration_s=10.0,
+        )
+        fe = RequestFrontend(_resolver(), FrontendConfig())
+        result = fe.run(trace)
+        assert result.stats.enqueued_pages == 1
+        assert result.stats.coalesced == n - 1
+        assert result.served_fraction == 1.0
+
+    def test_latency_percentiles_ordered(self):
+        fe = RequestFrontend(_resolver(), FrontendConfig())
+        result = fe.run(_trace())
+        assert 0 < result.p50_latency_s <= result.p90_latency_s
+        assert result.p90_latency_s <= result.p99_latency_s
+
+    def test_epoch_replacement_supersedes_stale_page(self):
+        # Across site-epoch changes, a queued page re-requested at a new
+        # epoch must be replaced in place, not duplicated.
+        trace = _trace(hours=30.0, n_requests=30_000, n_pages=20)
+        fe = RequestFrontend(
+            _resolver(max_page_bytes=None), FrontendConfig(rate_bps=2_000.0)
+        )
+        result = fe.run(trace)
+        assert result.stats.replaced_pages > 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("max_batch", [1, 7, 8192])
+    def test_any_partition_matches(self, max_batch):
+        trace = _trace(n_requests=3_000)
+        reference = RequestFrontend(_resolver(), FrontendConfig())
+        reference.run(trace, serial=True)
+        fe = RequestFrontend(_resolver(), FrontendConfig(max_batch=max_batch))
+        fe.run(trace)
+        assert fe.ledger.digest() == reference.ledger.digest()
+
+    def test_backpressure_paths_match_serial(self):
+        trace = _trace(n_requests=8_000, hours=0.5)
+        config = FrontendConfig(max_backlog_bytes=60_000, defer_capacity=200)
+        runs = []
+        for serial in (False, True):
+            fe = RequestFrontend(_resolver(), config)
+            result = fe.run(trace, serial=serial)
+            runs.append((fe.ledger.digest(), result.stats))
+        (d_async, s_async), (d_serial, s_serial) = runs
+        assert s_async.shed > 0  # the config actually exercised shedding
+        assert d_async == d_serial
+        assert (s_async.deferred, s_async.shed, s_async.retried) == (
+            s_serial.deferred, s_serial.shed, s_serial.retried
+        )
+
+
+class TestBackpressure:
+    def test_defer_then_retry_on_drain(self):
+        trace = _trace(n_requests=4_000, hours=0.5)
+        config = FrontendConfig(
+            max_backlog_bytes=60_000, defer_capacity=5_000,
+            drain_grace_hours=24.0,
+        )
+        fe = RequestFrontend(_resolver(), config)
+        result = fe.run(trace)
+        stats = result.stats
+        assert stats.deferred > 0
+        assert stats.retried == stats.deferred  # all parked requests landed
+        assert result.served_fraction == 1.0
+        counts = result.ledger_stats.counts
+        assert counts == {"broadcast": trace.n_requests}
+
+    def test_shed_when_deferral_full(self):
+        trace = _trace(n_requests=8_000, hours=0.5)
+        config = FrontendConfig(max_backlog_bytes=60_000, defer_capacity=100)
+        fe = RequestFrontend(_resolver(), config)
+        result = fe.run(trace)
+        stats = result.stats
+        assert stats.shed > 0
+        assert stats.peak_deferred <= config.defer_capacity
+        counts = result.ledger_stats.counts
+        assert counts.get("shed", 0) == stats.shed
+        assert sum(counts.values()) == trace.n_requests
+
+    def test_backlog_respects_threshold_for_new_pages(self):
+        trace = _trace(n_requests=8_000, hours=0.5)
+        config = FrontendConfig(max_backlog_bytes=60_000, defer_capacity=100)
+        fe = RequestFrontend(_resolver(), config)
+        result = fe.run(trace)
+        # New pages never push past the threshold; only an in-place epoch
+        # replacement may (its airtime is already committed).
+        assert result.stats.peak_backlog_bytes <= config.max_backlog_bytes + 12 * 1024
+
+    def test_health_snapshot_keys(self):
+        fe = RequestFrontend(_resolver(), FrontendConfig())
+        fe.run(_trace(n_requests=500))
+        health = fe.health()
+        for key in ("sim_hours", "submitted", "backlog_mb", "coalesce_ratio"):
+            assert key in health
+        assert health["submitted"] == 500
+
+
+class TestLedgerIntegration:
+    def test_file_ledger_survives_reopen(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        fe = RequestFrontend(
+            _resolver(), FrontendConfig(), ledger=RequestLedger(path)
+        )
+        result = fe.run(_trace(n_requests=2_000))
+        digest = fe.ledger.digest()
+        fe.ledger.close()
+
+        reopened = RequestLedger(path)
+        assert len(reopened) == 2_000
+        assert reopened.digest() == digest
+        assert reopened.reconcile() == result.ledger_stats.counts
+        reopened.close()
+
+    def test_stats_percentiles(self):
+        fe = RequestFrontend(_resolver(), FrontendConfig())
+        result = fe.run(_trace(n_requests=1_000))
+        stats = result.ledger_stats
+        assert stats.n_requests == 1_000
+        assert stats.n_broadcast == 1_000
+        assert stats.percentile(50.0) <= stats.percentile(99.0)

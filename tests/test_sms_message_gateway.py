@@ -80,3 +80,88 @@ class TestGateway:
         gw.deliver_due(600.0)
         assert gw.submitted_count == 5
         assert gw.delivered_count == 5
+
+
+class _ReferenceGateway:
+    """The historical sorted-list gateway, kept as the semantic oracle.
+
+    ``submit`` appended and re-sorted the whole in-flight list by
+    delivery time (a stable sort, so ties kept insertion order);
+    ``deliver_due`` scanned it twice.  The shipping heap implementation
+    must reproduce its delivery stream exactly, RNG draw for RNG draw.
+    """
+
+    def __init__(self, config: GatewayConfig, seed: int) -> None:
+        import math
+
+        from repro.util.rng import derive_rng
+
+        self.config = config
+        self._rng = derive_rng(seed, "sms-gateway")
+        self._in_flight: list[tuple[float, SmsMessage]] = []
+        self._log = math.log
+
+    def submit(self, message: SmsMessage, now: float) -> bool:
+        cfg = self.config
+        if self._rng.random() < cfg.loss_probability:
+            return False
+        latency = float(
+            self._rng.lognormal(
+                mean=self._log(cfg.median_latency_s), sigma=cfg.latency_sigma
+            )
+        )
+        latency += cfg.per_segment_penalty_s * (message.segment_count - 1)
+        self._in_flight.append((now + latency, message))
+        self._in_flight.sort(key=lambda pair: pair[0])
+        return True
+
+    def deliver_due(self, now: float) -> list[SmsMessage]:
+        due = [m for t, m in self._in_flight if t <= now]
+        self._in_flight = [p for p in self._in_flight if p[0] > now]
+        return due
+
+
+class TestGatewayHeapEquivalence:
+    def test_default_config_not_shared(self):
+        a, b = SmsGateway(seed=1), SmsGateway(seed=2)
+        assert a.config == GatewayConfig()
+        assert a.config is not b.config
+        assert SmsGateway(None, seed=3).config == GatewayConfig()
+
+    def test_heap_matches_reference_on_random_interleavings(self):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=60, deadline=None)
+        @given(st.data())
+        def check(data):
+            config = GatewayConfig(loss_probability=0.25)
+            seed = data.draw(st.integers(0, 2**16))
+            heap_gw = SmsGateway(config, seed=seed)
+            ref_gw = _ReferenceGateway(config, seed=seed)
+            now = 0.0
+            for i in range(data.draw(st.integers(1, 50))):
+                if data.draw(st.booleans()):
+                    # Vary length to cross the multi-segment penalty.
+                    pad = "x" * data.draw(st.integers(0, 320))
+                    msg = SmsMessage("+1", "+2", f"m{i}-{pad}")
+                    assert heap_gw.submit(msg, now) == ref_gw.submit(msg, now)
+                else:
+                    now += data.draw(
+                        st.floats(0.0, 30.0, allow_nan=False, allow_infinity=False)
+                    )
+                    assert heap_gw.deliver_due(now) == ref_gw.deliver_due(now)
+            # Drain everything still in flight; order must match too.
+            assert heap_gw.deliver_due(now + 1e6) == ref_gw.deliver_due(now + 1e6)
+            assert heap_gw.pending_count() == 0
+
+        check()
+
+    def test_simultaneous_deliveries_keep_submit_order(self):
+        # Identical latencies (sigma ~ 0): the heap's (time, seq) key must
+        # deliver in submission order, exactly like the stable sort did.
+        cfg = GatewayConfig(loss_probability=0.0, latency_sigma=0.0)
+        gw = SmsGateway(cfg, seed=9)
+        messages = [SmsMessage("+1", "+2", f"m{i}") for i in range(20)]
+        for m in messages:
+            gw.submit(m, 0.0)
+        assert gw.deliver_due(60.0) == messages
