@@ -466,8 +466,15 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
         ),
         store=store,
     )
+    if args.persistent:
+        pipeline.start(args.processes)
     urls = pipeline.generator.all_urls()[: args.top]
-    result = pipeline.encode_catalog(urls, hour=args.hour, processes=args.processes)
+    try:
+        result = pipeline.encode_catalog(
+            urls, hour=args.hour, processes=args.processes
+        )
+    finally:
+        pipeline.close()
 
     modem = Modem(args.profile)
     transport = BundleTransport()
@@ -532,6 +539,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.sim.workload import RequestTraceConfig, generate_requests
     from repro.web.sites import SiteGenerator
 
+    pipeline = None
     if args.resolver == "catalog":
         from repro.server.cache import BundleStore
         from repro.server.catalog import CatalogConfig, CatalogPipeline
@@ -540,12 +548,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             CatalogConfig(
                 seed=args.seed,
                 n_sites=args.sites,
-                width=360,
-                max_height=1_200,
+                width=args.width,
+                max_height=args.max_height,
                 quality=10,
+                reference=args.respawn_pool,
             ),
             store=BundleStore(directory=args.store) if args.store else None,
         )
+        if not args.respawn_pool:
+            # Persistent pool: workers spawn once and build their
+            # renderer once, then serve every resolve for the whole day.
+            pipeline.start(args.processes)
         resolver = CatalogResolver(pipeline, processes=args.processes)
     else:
         resolver = SizeModelResolver(
@@ -576,6 +589,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_backlog_bytes=args.max_backlog_kb * 1024,
             defer_capacity=args.defer_capacity,
+            pipelined=not args.respawn_pool,
+            prefetch=not (args.no_prefetch or args.respawn_pool),
         ),
         ledger=RequestLedger(args.ledger) if args.ledger else None,
     )
@@ -621,6 +636,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"peak backlog {stats.peak_backlog_bytes / 1e6:.2f} MB, "
         f"peak ingest depth {stats.peak_queue_depth} cohorts"
     )
+    if pipeline is not None:
+        print(
+            f"render pool: {'respawn-per-batch (reference)' if args.respawn_pool else 'persistent'}, "
+            f"prefetch {pipeline.prefetch_used}/{pipeline.prefetch_submitted} "
+            f"speculative renders used"
+        )
+        pipeline.close()
     if args.ledger:
         print(f"ledger: {len(frontend.ledger):,} rows -> {args.ledger}")
     frontend.ledger.close()
@@ -935,6 +957,71 @@ def _bench_smoke(repo_root: Path) -> int:
         )
         return 1
     print("request ledger:  serial == async-batched (digest match)")
+
+    # --- serve_catalog gate: full-fidelity resolve, pipelined == serial ---
+    from repro.server.cache import BundleStore
+    from repro.server.catalog import CatalogConfig, CatalogPipeline
+    from repro.server.frontend import CatalogResolver
+
+    if "serve_catalog" not in baseline:
+        print(
+            "error: BENCH_pipeline.json has no serve_catalog section — "
+            "run `python -m repro bench -k serve_catalog` once to establish "
+            "the baseline",
+            file=sys.stderr,
+        )
+        return 1
+    sc_base = baseline["serve_catalog"]["requests_per_s"]
+    cat_trace = generate_requests(
+        RequestTraceConfig(hours=2.0, n_pages=12, n_requests=6_000, seed=42)
+    )
+
+    def _catalog_frontend(serial=False, persistent=False):
+        pipeline = CatalogPipeline(
+            CatalogConfig(seed=42, n_sites=3, width=360, max_height=600,
+                          quality=10),
+            store=BundleStore(),
+        )
+        if persistent:
+            pipeline.start()  # host-sized: subprocess pool or inline worker
+        fe = RequestFrontend(
+            CatalogResolver(pipeline, processes=2), FrontendConfig()
+        )
+        res = fe.run(cat_trace, serial=serial)
+        digest = fe.ledger.digest()
+        pipeline.close()
+        fe.ledger.close()
+        return res, digest, pipeline.store
+
+    _, d_serial, store_serial = _catalog_frontend(serial=True)
+    sc_res, d_pipe, store_pipe = _catalog_frontend(persistent=True)
+    if d_pipe != d_serial:
+        print(
+            "error: pipelined catalog ledger diverged from the serial "
+            "reference",
+            file=sys.stderr,
+        )
+        return 1
+    if not store_pipe.superset_of(store_serial):
+        print(
+            "error: pipelined bundle store diverged from the serial "
+            "reference (bundle bytes differ)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"catalog serve:   {sc_res.requests_per_s:,.0f} req/s "
+        f"(baseline {sc_base:,.0f}, {sc_res.requests_per_s / sc_base:.2f}x), "
+        f"serial == pipelined (digest match)"
+    )
+    if sc_res.requests_per_s < 0.5 * sc_base:
+        print(
+            f"error: catalog serve regressed >50% "
+            f"({sc_res.requests_per_s:,.0f} vs baseline {sc_base:,.0f} "
+            f"req/s)",
+            file=sys.stderr,
+        )
+        return 1
     print("perf smoke ok")
     return 0
 
@@ -1101,6 +1188,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snr-db", type=float, default=14.0)
     p.add_argument("--processes", type=int, default=None,
                    help="pool size for render+encode (default: cpu count)")
+    p.add_argument("--persistent", action="store_true",
+                   help="start a persistent worker pool (reusable across "
+                        "encode_catalog calls) instead of a per-call pool")
     p.add_argument("--store", default=None,
                    help="directory for the persistent bundle store")
     p.set_defaults(func=_cmd_catalog)
@@ -1138,6 +1228,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bundle store directory (catalog resolver)")
     p.add_argument("--processes", type=int, default=None,
                    help="render+encode pool size (catalog resolver)")
+    p.add_argument("--width", type=int, default=360,
+                   help="render width in pixels (catalog resolver)")
+    p.add_argument("--max-height", type=int, default=1_200,
+                   help="crop rendered pages to this height (catalog resolver)")
+    p.add_argument("--respawn-pool", action="store_true",
+                   help="reference baseline: respawn the render pool per "
+                        "batch and resolve on the event loop (seed renderer)")
+    p.add_argument("--no-prefetch", action="store_true",
+                   help="disable speculative next-hour prefetch")
     p.add_argument("--ledger", default=None,
                    help="sqlite path for the persistent request ledger "
                         "(default: in-memory)")

@@ -25,8 +25,8 @@ from scipy import fft as sfft
 
 from repro.imaging.color import (
     downsample_420,
-    rgb_to_ycbcr,
     upsample_420,
+    ycbcr_planes,
     ycbcr_to_rgb,
 )
 from repro.imaging.huffman import (
@@ -199,11 +199,11 @@ class SWebpCodec:
         header.append(self.quality)
 
         if color:
-            ycc = rgb_to_ycbcr(image)
+            yp, cb, cr = ycbcr_planes(image)
             planes = [
-                (ycc[..., 0], self._qy),
-                (downsample_420(ycc[..., 1]), self._qc),
-                (downsample_420(ycc[..., 2]), self._qc),
+                (yp, self._qy),
+                (downsample_420(cb), self._qc),
+                (downsample_420(cr), self._qc),
             ]
         else:
             planes = [(image.astype(np.float64), self._qy)]
@@ -219,22 +219,55 @@ class SWebpCodec:
 
     def _encode_plane(self, plane: np.ndarray, qtable: np.ndarray) -> bytes:
         blocks, rows, cols = _blockify(plane - 128.0)
-        coeffs = sfft.dctn(blocks, axes=(1, 2), norm="ortho")
+        n_blocks = blocks.shape[0]
+        b64 = blocks.reshape(n_blocks, 64)
+
+        # Rendered pages are mostly flat (constant-colour) blocks, and a
+        # flat block's transform depends only on its value — so the DCT,
+        # quantisation, and zig-zag run on one representative per
+        # distinct flat value plus every non-flat block.  The per-block
+        # transform is independent of its batch, so each block's
+        # coefficients are bit-identical to the all-blocks path.
+        flat = (b64 == b64[:, :1]).all(axis=1)
+        f_ids = np.nonzero(flat)[0]
+        nf_ids = np.nonzero(~flat)[0]
+        uvals, f_inv = np.unique(b64[f_ids, 0], return_inverse=True)
+        nu = uvals.size
+        reps = np.concatenate(
+            [np.broadcast_to(uvals[:, None], (nu, 64)), b64[nf_ids]]
+        )
+        coeffs = sfft.dctn(reps.reshape(-1, 8, 8), axes=(1, 2), norm="ortho")
         quant = np.round(coeffs / qtable).astype(np.int64)
-        n_blocks = quant.shape[0]
-        zz = quant.reshape(n_blocks, 64)[:, _ZIGZAG]
+        zz_reps = quant.reshape(-1, 64)[:, _ZIGZAG]
+
+        dc = np.empty(n_blocks, dtype=np.int64)
+        dc[f_ids] = zz_reps[:nu, 0][f_inv]
+        dc[nf_ids] = zz_reps[nu:, 0]
+
+        if zz_reps[:nu, 1:].any():
+            # A flat block quantised to nonzero AC (possible only at
+            # extreme quality settings): fall back to the dense layout
+            # so its AC tokens are emitted like any other block's.
+            zz = np.empty((n_blocks, 64), dtype=np.int64)
+            zz[f_ids] = zz_reps[:nu][f_inv]
+            zz[nf_ids] = zz_reps[nu:]
+            ac = zz[:, 1:]
+            nz_b, nz_c = np.nonzero(ac)
+            vals = ac[nz_b, nz_c]
+        else:
+            # Flat blocks contribute no AC tokens: scan only the rest.
+            ac = zz_reps[nu:, 1:]
+            nzl, nz_c = np.nonzero(ac)
+            vals = ac[nzl, nz_c]
+            nz_b = nf_ids[nzl]
 
         # --- DC tokens (differential) ---
-        dc = zz[:, 0]
         dc_diff = np.concatenate([[dc[0]], np.diff(dc)])
         dc_size = _BITLEN[np.minimum(np.abs(dc_diff), (1 << 15) - 1)]
         dc_extra = np.where(dc_diff >= 0, dc_diff, dc_diff + (1 << dc_size) - 1)
         dc_keys = np.arange(n_blocks, dtype=np.int64) * 66 * 100
 
         # --- AC tokens ---
-        ac = zz[:, 1:]
-        nz_b, nz_c = np.nonzero(ac)
-        vals = ac[nz_b, nz_c]
         first_in_block = np.concatenate([[True], np.diff(nz_b) != 0])
         prev_c = np.concatenate([[0], nz_c[:-1]])
         runs = np.where(first_in_block, nz_c, nz_c - prev_c - 1)

@@ -4,7 +4,97 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["rgb_to_ycbcr", "ycbcr_to_rgb", "downsample_420", "upsample_420"]
+__all__ = [
+    "rgb_to_ycbcr",
+    "ycbcr_planes",
+    "ycbcr_to_rgb",
+    "downsample_420",
+    "upsample_420",
+]
+
+# Per-channel lookup tables: lut[k] holds coeff * k (or 128 + coeff * k)
+# for every uint8 value, so conversion is three gathers + two adds per
+# plane.  Each table entry is the identical float64 product the direct
+# formula computes, and the adds happen in the same left-to-right order,
+# so ycbcr_planes() is bit-identical to rgb_to_ycbcr().
+_LUTS: tuple[np.ndarray, ...] | None = None
+
+
+def _luts() -> tuple[np.ndarray, ...]:
+    global _LUTS
+    if _LUTS is None:
+        k = np.arange(256, dtype=np.float64)
+        _LUTS = (
+            0.299 * k, 0.587 * k, 0.114 * k,  # y = (r + g) + b
+            128.0 - 0.168736 * k, 0.331264 * k, 0.5 * k,  # cb = (r - g) + b
+            128.0 + 0.5 * k, 0.418688 * k, 0.081312 * k,  # cr = (r - g) - b
+        )
+    return _LUTS
+
+
+# Pair tables: entry (r << 8) | g holds the correctly-rounded partial
+# sums (yr+yg, cbr-cbg, crr-crg) for that red/green combination, so the
+# whole conversion is two gathers and one add.  The table stores the
+# same rounded float64 the runtime expression produces (one rounding per
+# add either way), subtraction is folded into the sign of the blue
+# products (IEEE a - b == a + (-b) and -(c*k) == (-c)*k exactly), and
+# the final adds run left-to-right — so every output bit matches
+# rgb_to_ycbcr().
+_LUTS_PAIR: tuple[np.ndarray, np.ndarray] | None = None
+
+
+def _luts_pair() -> tuple[np.ndarray, np.ndarray]:
+    global _LUTS_PAIR
+    if _LUTS_PAIR is None:
+        k = np.arange(256, dtype=np.float64)
+        r = np.repeat(k, 256)
+        g = np.tile(k, 256)
+        rg = np.empty((65536, 3))
+        rg[:, 0] = 0.299 * r + 0.587 * g
+        rg[:, 1] = (128.0 - 0.168736 * r) + (-(0.331264 * g))
+        rg[:, 2] = (128.0 + 0.5 * r) + (-(0.418688 * g))
+        b = np.empty((256, 3))
+        b[:, 0] = 0.114 * k
+        b[:, 1] = 0.5 * k
+        b[:, 2] = -(0.081312 * k)
+        _LUTS_PAIR = (rg, b)
+    return _LUTS_PAIR
+
+
+def ycbcr_planes(rgb: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """BT.601 conversion as three separate float64 planes.
+
+    Bit-identical to :func:`rgb_to_ycbcr` (pinned by tests) but avoids
+    the (H, W, 3) stack copy — the encoder splits the planes right back
+    apart anyway.
+    """
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {rgb.shape}")
+    if rgb.dtype != np.uint8:  # LUTs index by uint8; take the direct path
+        ycc = rgb_to_ycbcr(rgb)
+        return ycc[..., 0], ycc[..., 1], ycc[..., 2]
+    # Rendered pages repeat rows in long vertical runs (flat bands, text
+    # leading), so convert one representative per run and gather the rest
+    # back by index — identical bytes in, identical floats out.
+    h, w, _ = rgb.shape
+    rows = rgb.reshape(h, w * 3)
+    diff = (rows[1:] != rows[:-1]).any(axis=1)
+    ids = np.empty(h, dtype=np.intp)
+    ids[0] = 0
+    np.cumsum(diff, out=ids[1:])
+    reps = np.empty(h, dtype=bool)
+    reps[0] = True
+    reps[1:] = diff
+    sub = rgb[reps]
+    pair, blue = _luts_pair()
+    idx = sub[..., 0].astype(np.intp)
+    idx <<= 8
+    idx |= sub[..., 1]
+    ycc = pair[idx]
+    ycc += blue[sub[..., 2].astype(np.intp)]
+    full = ycc[ids]
+    return full[..., 0], full[..., 1], full[..., 2]
 
 
 def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
@@ -38,13 +128,24 @@ def ycbcr_to_rgb(ycbcr: np.ndarray) -> np.ndarray:
 
 
 def downsample_420(plane: np.ndarray) -> np.ndarray:
-    """2x2 box-average chroma subsampling (pads odd dimensions by edge)."""
+    """2x2 box-average chroma subsampling (pads odd dimensions by edge).
+
+    Written as explicit strided adds in ``mean``'s own reduction order —
+    row pairs first, then the column pair, i.e. ``(a+b) + (c+d)`` — so
+    the result is bit-identical to ``.mean(axis=(1, 3))`` without the
+    generic reduce machinery.
+    """
     plane = np.asarray(plane, dtype=np.float64)
     h, w = plane.shape
     if h % 2 or w % 2:
         plane = np.pad(plane, ((0, h % 2), (0, w % 2)), mode="edge")
         h, w = plane.shape
-    return plane.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+    x = plane.reshape(h // 2, 2, w // 2, 2)
+    if w < 4:  # degenerate layouts reduce in a different order
+        return x.mean(axis=(1, 3))
+    out = (x[:, 0, :, 0] + x[:, 0, :, 1]) + (x[:, 1, :, 0] + x[:, 1, :, 1])
+    out /= 4.0
+    return out
 
 
 def upsample_420(plane: np.ndarray, out_h: int, out_w: int) -> np.ndarray:

@@ -100,12 +100,11 @@ class CanonicalHuffman:
             self.codes[symbol] = code
             code += 1
             prev_len = length
-        # Peek tables are built eagerly: every consumer (encoder stats
-        # aside) decodes right after construction, and the batch decoder
-        # gathers from them wholesale.
+        # Peek tables are decode-only; the encoder builds six tables per
+        # image and never peeks, so they materialise lazily via
+        # :attr:`peek_tables` on the first decode.
         self._peek_symbol: np.ndarray | None = None
         self._peek_length: np.ndarray | None = None
-        self._build_peek()
 
     def serialize(self) -> bytes:
         """Compact table: count + (symbol, length) pairs for used symbols."""

@@ -108,6 +108,56 @@ class BundleStore:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def items(self) -> list[tuple[str, bytes]]:
+        """Every (key, bytes) pair in key order, memory and disk alike.
+
+        Reads bypass the LRU and the hit/miss counters so inspecting a
+        store never perturbs it.
+        """
+        keys = set(self._entries)
+        if self.directory is not None:
+            keys.update(p.stem for p in self.directory.glob("*.swbp"))
+        out = []
+        for key in sorted(keys):
+            data = self._entries.get(key)
+            if data is None:
+                data = (self.directory / f"{key}.swbp").read_bytes()
+            out.append((key, data))
+        return out
+
+    def content_digest(self) -> str:
+        """SHA-256 over every (key, bytes) pair, in key order.
+
+        LRU recency and hit/miss counters are excluded on purpose: two
+        stores hold the same content iff their digests match, regardless
+        of the access pattern that filled them.  Disk-persisted entries
+        not resident in memory are included so a reopened store compares
+        equal to the run that wrote it.
+        """
+        h = hashlib.sha256()
+        for key, data in self.items():
+            h.update(key.encode())
+            h.update(len(data).to_bytes(8, "big"))
+            h.update(data)
+        return h.hexdigest()
+
+    def superset_of(self, other: "BundleStore") -> bool:
+        """Every bundle in ``other`` is present here, byte-identical.
+
+        The containment check a speculative prefetch must satisfy: it
+        may *add* bundles the demand path never asked for, but anything
+        the reference run produced has to match exactly.
+        """
+        for key, data in other.items():
+            mine = self._entries.get(key)
+            if mine is None and self.directory is not None:
+                path = self.directory / f"{key}.swbp"
+                if path.exists():
+                    mine = path.read_bytes()
+            if mine != data:
+                return False
+        return True
+
 
 @dataclass
 class CachedPage:

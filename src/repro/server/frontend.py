@@ -68,6 +68,9 @@ class FrontendConfig:
     request_priority: float = 100.0  # matches SchedulerConfig
     drain_grace_hours: float = 4.0  # post-trace drain horizon
     commit_every_ticks: int = 360  # ledger commit cadence
+    pipelined: bool = True  # overlap resolves with ingest (needs resolve_submit)
+    resolve_depth: int = 4  # in-flight speculative resolves (cohorts)
+    prefetch: bool = True  # speculative next-hour renders (needs prefetch_hour)
 
 
 @dataclass
@@ -118,6 +121,42 @@ class PageResolver(Protocol):
         ...
 
 
+class _HourWindowMemo:
+    """A memo dict bounded by simulation time, not entry count.
+
+    Entries remember the hour they were inserted; once the clock moves
+    past ``window`` hours beyond an entry's hour, the entry is evicted
+    (one O(n) sweep per simulated hour).  Everything memoised here is a
+    pure function of its key, so eviction can only cost a re-compute,
+    never change an outcome — which is what lets the resolver memos
+    survive multi-day traces without unbounded growth.
+    """
+
+    def __init__(self, window_hours: float = 24.0) -> None:
+        self._data: dict = {}
+        self._hour_of: dict = {}
+        self._window = max(1, int(window_hours))
+        self._swept = -1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        return self._data.get(key)
+
+    def put(self, key, value, hour: int) -> None:
+        self._data[key] = value
+        self._hour_of[key] = hour
+        if hour > self._swept:
+            self._swept = hour
+            cutoff = hour - self._window
+            if cutoff > 0:
+                stale = [k for k, h in self._hour_of.items() if h < cutoff]
+                for k in stale:
+                    del self._data[k]
+                    del self._hour_of[k]
+
+
 class SizeModelResolver:
     """Prices pages via :class:`PageSizeModel` — the million-request path.
 
@@ -125,7 +164,8 @@ class SizeModelResolver:
     accounting level: the first resolve of a (url, epoch) pair is a miss
     (a render+encode), every later resolve is a store hit.  ``max_page_bytes``
     caps sizes the same way ``repro stream --max-page-kb`` does, keeping
-    short simulated days meaningful at FM rates.
+    short simulated days meaningful at FM rates.  Memos are bounded to
+    the catalog expiry window (``expiry_hours``).
     """
 
     def __init__(
@@ -133,6 +173,7 @@ class SizeModelResolver:
         generator: SiteGenerator,
         quality: int = 10,
         max_page_bytes: int | None = None,
+        expiry_hours: float = 24.0,
     ) -> None:
         self.generator = generator
         self.urls = generator.all_urls()
@@ -140,15 +181,15 @@ class SizeModelResolver:
         self.max_page_bytes = max_page_bytes
         self.store_hits = 0
         self.store_misses = 0
-        self._epochs: dict[tuple[int, int], int] = {}
-        self._sizes: dict[tuple[int, int], int] = {}
+        self._epochs = _HourWindowMemo(expiry_hours)
+        self._sizes = _HourWindowMemo(expiry_hours)
 
     def epoch(self, url_index: int, hour: int) -> int:
         key = (url_index, hour)
         epoch = self._epochs.get(key)
         if epoch is None:
             epoch = self.generator.effective_epoch(self.urls[url_index], hour)
-            self._epochs[key] = epoch
+            self._epochs.put(key, epoch, hour)
         return epoch
 
     def resolve_batch(
@@ -166,7 +207,7 @@ class SizeModelResolver:
             size = self.size_model.size_at(self.urls[i], epoch)
             if self.max_page_bytes is not None:
                 size = min(size, self.max_page_bytes)
-            self._sizes[key] = size
+            self._sizes.put(key, size, hour)
             self.store_misses += 1
             out.append((size, epoch, False))
         return out
@@ -179,6 +220,13 @@ class CatalogResolver:
     land in its :class:`~repro.server.cache.BundleStore`, so N requests
     for a hot page cost exactly one render+encode — and a warm store
     (an earlier hour, a previous run) costs none.
+
+    With a *persistent* pipeline (``pipeline.start()``) this resolver
+    also exposes the pipelined-dispatch hooks the front end uses to keep
+    renders off the event loop: :meth:`resolve_submit` /
+    :meth:`resolve_commit` wrap :meth:`CatalogPipeline.submit_catalog`
+    jobs, and :meth:`prefetch_hour` pre-renders the next hour's epoch
+    rollovers while the current hour broadcasts.
     """
 
     def __init__(self, pipeline, processes: int | None = None) -> None:
@@ -190,7 +238,8 @@ class CatalogResolver:
         self.urls = pipeline.generator.all_urls()
         self.store_hits = 0
         self.store_misses = 0
-        self._epochs: dict[tuple[int, int], int] = {}
+        self._epochs = _HourWindowMemo(pipeline.config.expiry_hours)
+        self._requested: set[int] = set()
 
     def epoch(self, url_index: int, hour: int) -> int:
         key = (url_index, hour)
@@ -199,7 +248,7 @@ class CatalogResolver:
             epoch = self.pipeline.generator.effective_epoch(
                 self.urls[url_index], hour
             )
-            self._epochs[key] = epoch
+            self._epochs.put(key, epoch, hour)
         return epoch
 
     def resolve_batch(
@@ -213,6 +262,38 @@ class CatalogResolver:
         self.store_hits += result.store_hits
         self.store_misses += result.encoded
         return [(len(p.data), p.epoch, p.from_store) for p in result.pages]
+
+    # -- pipelined dispatch hooks ---------------------------------------------
+
+    def resolve_submit(self, url_indices: list[int], hour: int):
+        """Kick off the renders for a cohort; returns a waitable job."""
+        self._requested.update(url_indices)
+        return self.pipeline.submit_catalog(
+            [self.urls[i] for i in url_indices], hour
+        )
+
+    def resolve_commit(self, job) -> list[tuple[int, int, bool]]:
+        """Harvest a :meth:`resolve_submit` job (same shape as
+        :meth:`resolve_batch`); store puts happen here, on the caller's
+        thread, in submission order."""
+        result = job.result()
+        self.store_hits += result.store_hits
+        self.store_misses += result.encoded
+        return [(len(p.data), p.epoch, p.from_store) for p in result.pages]
+
+    def prefetch_hour(self, hour: int) -> int:
+        """Speculatively render previously requested URLs as they appear
+        at ``hour`` (misses only — i.e. the epoch rollovers).  Pure store
+        warming: it can change hit/miss accounting, never an outcome.
+        Only URLs the front end has actually resolved are speculated on,
+        so idle-worker time isn't spent on pages nobody asks for."""
+        self.pipeline.drain_prefetch(block=False)
+        return self.pipeline.prefetch(
+            [self.urls[i] for i in sorted(self._requested)], hour
+        )
+
+    def close(self) -> None:
+        self.pipeline.close()
 
 
 @dataclass(frozen=True)
@@ -273,6 +354,7 @@ class RequestFrontend:
         self._waiting: dict[int, list[np.ndarray]] = {}  # url_index -> req ids
         self._deferred: deque[tuple[int, int]] = deque()  # (req_id, url_index)
         self._tick = 0  # completed tick boundaries; sim now = _tick * tick_s
+        self._prefetched_hour = -1  # last hour handed to prefetch_hour
 
     @property
     def now(self) -> float:
@@ -298,6 +380,16 @@ class RequestFrontend:
                 self._complete(url, t)
             if self._deferred:
                 self._retry_deferred(t)
+            if cfg.prefetch:
+                # While hour h broadcasts, idle workers pre-render the
+                # pages whose epoch rolls over at h+1 — store warming
+                # only, so serial and pipelined outcomes stay identical.
+                hour = int(t // 3600)
+                if hour > self._prefetched_hour:
+                    self._prefetched_hour = hour
+                    prefetch_hour = getattr(self.resolver, "prefetch_hour", None)
+                    if prefetch_hour is not None:
+                        prefetch_hour(hour + 1)
             backlog = self.carousel.backlog_bytes()
             if backlog > self.stats.peak_backlog_bytes:
                 self.stats.peak_backlog_bytes = backlog
@@ -315,19 +407,40 @@ class RequestFrontend:
             self.stats.broadcast_requests += int(ids.size)
 
     def _retry_deferred(self, t: float) -> None:
-        """FIFO retry of parked requests; stops at the first still-blocked."""
+        """FIFO retry of parked requests; stops at the first still-blocked.
+
+        All distinct parked URLs not already on air resolve in ONE
+        ``resolve_batch`` up front (sizes and epochs are pure in
+        (url, hour), so resolving ahead of the walk — even past the
+        point where it blocks — cannot change any outcome).  The walk
+        then replays the seed one-at-a-time decision sequence exactly.
+        """
         cfg = self.config
         hour = int(t // 3600)
-        while self._deferred:
-            req_id, index = self._deferred[0]
-            epoch = self.resolver.epoch(index, hour)
-            if self._active.get(index) == epoch:
+        resolver = self.resolver
+        active = self._active
+        deferred = self._deferred
+        need: list[int] = []
+        seen: set[int] = set()
+        for _, index in deferred:
+            if index not in seen:
+                seen.add(index)
+                if active.get(index) != resolver.epoch(index, hour):
+                    need.append(index)
+        resolved: dict[int, tuple[int, int]] = {}
+        if need:
+            for u, (size, epoch, _) in zip(need, resolver.resolve_batch(need, hour)):
+                resolved[u] = (size, epoch)
+        while deferred:
+            req_id, index = deferred[0]
+            epoch = resolver.epoch(index, hour)
+            if active.get(index) == epoch:
                 self._attach(index, np.array([req_id], dtype=np.int64))
                 self.stats.coalesced -= 1  # attach() counts; retries aren't new
             else:
-                ((size, epoch, _),) = self.resolver.resolve_batch([index], hour)
+                size, epoch = resolved[index]
                 if (
-                    index not in self._active
+                    index not in active
                     and self.carousel.backlog_bytes() + size
                     > cfg.max_backlog_bytes
                 ):
@@ -335,7 +448,7 @@ class RequestFrontend:
                 self._enqueue_page(index, epoch, size)
                 self._attach(index, np.array([req_id], dtype=np.int64))
                 self.stats.coalesced -= 1
-            self._deferred.popleft()
+            deferred.popleft()
             self.ledger.mark_scheduled(np.array([req_id]), t)
             self.stats.retried += 1
 
@@ -362,7 +475,11 @@ class RequestFrontend:
             self.stats.enqueued_pages += 1
 
     def submit_batch(
-        self, req_ids: np.ndarray, url_index: np.ndarray, times: np.ndarray
+        self,
+        req_ids: np.ndarray,
+        url_index: np.ndarray,
+        times: np.ndarray,
+        resolved: dict[int, tuple[int, int]] | None = None,
     ) -> None:
         """Dispatch one cohort (all arrivals within the current tick).
 
@@ -374,6 +491,11 @@ class RequestFrontend:
         deferral buffer) mutates per request; that replay is what makes
         the outcome stream identical for any batch partitioning,
         including the serial one-request cohorts.
+
+        ``resolved`` may carry (size, epoch) pairs computed ahead of
+        time by the pipelined driver; everything it resolves is pure in
+        (url, hour), so a speculative superset is harmless and any URL
+        it missed is topped up synchronously here.
         """
         cfg = self.config
         t = self.now
@@ -387,11 +509,12 @@ class RequestFrontend:
 
         # One batched resolve per cohort: pure in (url, hour), so *when*
         # it runs relative to the walk below cannot change any outcome.
-        resolved: dict[int, tuple[int, int]] = {}  # url -> (size, epoch)
+        if resolved is None:
+            resolved = {}  # url -> (size, epoch)
         need = [
             u
             for u in np.unique(url_index).tolist()
-            if active.get(u) != resolver.epoch(u, hour)
+            if u not in resolved and active.get(u) != resolver.epoch(u, hour)
         ]
         if need:
             for u, (size, epoch, _) in zip(need, resolver.resolve_batch(need, hour)):
@@ -478,6 +601,9 @@ class RequestFrontend:
         self.submit_batch(ids, urls, times)
 
     async def _run_async(self, trace: RequestTrace, progress, progress_every) -> None:
+        if self.config.pipelined and hasattr(self.resolver, "resolve_submit"):
+            await self._run_async_pipelined(trace, progress, progress_every)
+            return
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.queue_cohorts)
 
         async def produce() -> None:
@@ -498,6 +624,76 @@ class RequestFrontend:
                     progress(self)
 
         await asyncio.gather(produce(), dispatch())
+
+    async def _run_async_pipelined(
+        self, trace: RequestTrace, progress, progress_every
+    ) -> None:
+        """Three-stage driver: ingest -> speculative resolve -> commit.
+
+        The resolve stage dispatches each cohort's misses to the render
+        pool *before* its tick boundary is reached, so pages render while
+        earlier cohorts are still being ingested and committed; the
+        commit stage advances the tick clock in strict cohort order and
+        parks on an executor thread (``job.wait`` touches only pool
+        events) whenever a render hasn't finished.  Everything resolved
+        ahead of time is pure in (url, hour), and all state mutation
+        stays on the event-loop thread at tick boundaries — which is why
+        the ledger digest is identical to the serial driver's, and the
+        smoke gate holds it there.
+        """
+        cfg = self.config
+        resolver = self.resolver
+        queue: asyncio.Queue = asyncio.Queue(maxsize=cfg.queue_cohorts)
+        pending: asyncio.Queue = asyncio.Queue(maxsize=max(1, cfg.resolve_depth))
+
+        async def produce() -> None:
+            for cohort in self._cohorts(trace, cfg.max_batch):
+                await queue.put(cohort)
+            await queue.put(None)
+
+        async def resolve() -> None:
+            while True:
+                cohort = await queue.get()
+                depth = queue.qsize()
+                if depth > self.stats.peak_queue_depth:
+                    self.stats.peak_queue_depth = depth
+                if cohort is None:
+                    await pending.put(None)
+                    return
+                k, _, urls, _ = cohort
+                # Speculative need-set against current state; the commit
+                # stage tops up anything this guess misses.
+                hour = int(((k + 1) * cfg.tick_s) // 3600)
+                active = self._active
+                need = [
+                    u
+                    for u in np.unique(urls).tolist()
+                    if active.get(u) != resolver.epoch(u, hour)
+                ]
+                job = resolver.resolve_submit(need, hour) if need else None
+                await pending.put((cohort, need, job))
+
+        async def commit() -> None:
+            loop = asyncio.get_running_loop()
+            while True:
+                item = await pending.get()
+                if item is None:
+                    return
+                (k, ids, urls, times), need, job = item
+                self.advance_to_tick(k + 1)
+                resolved: dict[int, tuple[int, int]] = {}
+                if job is not None:
+                    if not job.ready():
+                        await loop.run_in_executor(None, job.wait)
+                    for u, (size, epoch, _) in zip(
+                        need, resolver.resolve_commit(job)
+                    ):
+                        resolved[u] = (size, epoch)
+                self.submit_batch(ids, urls, times, resolved=resolved)
+                if progress is not None and self.stats.batches % progress_every == 0:
+                    progress(self)
+
+        await asyncio.gather(produce(), resolve(), commit())
 
     def _run_serial(self, trace: RequestTrace, progress, progress_every) -> None:
         for cohort in self._cohorts(trace, max_batch=1):

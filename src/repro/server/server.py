@@ -88,6 +88,7 @@ class SonicServer:
         self._transport = BundleTransport()
         self._page_ids: dict[str, int] = {}
         self._encoded: dict[tuple[str, int], bytes] = {}
+        self._catalog_pipeline = None  # lazy; shared across push_catalog calls
         self.stats = ServerStats()
         gateway.register(config.sms_number, self._on_sms)
 
@@ -400,37 +401,60 @@ class SonicServer:
         )
         return len(entries)
 
+    def catalog_pipeline(self, persistent: bool = False, processes: int | None = None):
+        """The server's shared :class:`~repro.server.catalog.CatalogPipeline`.
+
+        Built once (lazily) over this server's generator and bundle
+        store, so every ``push_catalog`` call — and any persistent worker
+        pool attached with ``persistent=True`` — is reused across hours
+        instead of respawned per call.  Call :meth:`close` when done if a
+        pool was started.
+        """
+        from repro.server.catalog import CatalogConfig, CatalogPipeline
+
+        if self._catalog_pipeline is None:
+            self._catalog_pipeline = CatalogPipeline(
+                CatalogConfig(
+                    seed=self.generator.seed,
+                    n_sites=self.generator.n_sites,
+                    width=self.config.render_width,
+                    max_height=self.config.max_pixel_height,
+                    quality=self.config.quality,
+                    expiry_hours=self.config.client_cache_hours,
+                ),
+                store=self.bundle_store,
+                generator=self.generator,
+            )
+        if persistent and not self._catalog_pipeline.persistent:
+            self._catalog_pipeline.start(processes)
+        return self._catalog_pipeline
+
+    def close(self) -> None:
+        """Release the catalog pipeline's worker pool, if one is running."""
+        if self._catalog_pipeline is not None:
+            self._catalog_pipeline.close()
+
     def push_catalog(
         self,
         tx: Transmitter,
         now: float,
         urls: list[str] | None = None,
         processes: int | None = None,
+        persistent: bool = False,
     ):
         """Encode the catalog through the pooled pipeline and broadcast it.
 
-        All (or the given) corpus pages are rendered/encoded via
-        :class:`~repro.server.catalog.CatalogPipeline` backed by this
-        server's :attr:`bundle_store` — so a warm store (a later hour, a
-        rerun) skips re-encoding entirely — then queued on ``tx`` at
-        their popularity priority, followed by a catalog announcement.
-        Returns the :class:`~repro.server.catalog.CatalogResult`.
+        All (or the given) corpus pages are rendered/encoded via the
+        shared :meth:`catalog_pipeline` backed by this server's
+        :attr:`bundle_store` — so a warm store (a later hour, a rerun)
+        skips re-encoding entirely — then queued on ``tx`` at their
+        popularity priority, followed by a catalog announcement.
+        ``persistent=True`` attaches (and keeps) the persistent worker
+        pool across calls.  Returns the
+        :class:`~repro.server.catalog.CatalogResult`.
         """
-        from repro.server.catalog import CatalogConfig, CatalogPipeline
-
         hour = int(now // 3600)
-        pipeline = CatalogPipeline(
-            CatalogConfig(
-                seed=self.generator.seed,
-                n_sites=self.generator.n_sites,
-                width=self.config.render_width,
-                max_height=self.config.max_pixel_height,
-                quality=self.config.quality,
-                expiry_hours=self.config.client_cache_hours,
-            ),
-            store=self.bundle_store,
-            generator=self.generator,
-        )
+        pipeline = self.catalog_pipeline(persistent=persistent, processes=processes)
         result = pipeline.encode_catalog(urls=urls, hour=hour, processes=processes)
         for page in result.pages:
             self.enqueue_broadcast(

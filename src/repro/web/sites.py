@@ -138,16 +138,20 @@ class SiteGenerator:
             self._sites.append(
                 Website(entry.domain, category, i + 1, entry.weight, paths)
             )
+        self._by_domain = {site.domain: site for site in self._sites}
+        # (url, refresh tick) -> epoch, filled incrementally so asking
+        # about hour h costs one churn draw per *new* tick, not h draws.
+        self._epoch_memo: dict[tuple[str, int], int] = {}
 
     def websites(self) -> list[Website]:
         """The ranked 25-site corpus."""
         return list(self._sites)
 
     def website(self, domain: str) -> Website:
-        for site in self._sites:
-            if site.domain == domain:
-                return site
-        raise KeyError(f"unknown domain {domain!r}")
+        try:
+            return self._by_domain[domain]
+        except KeyError:
+            raise KeyError(f"unknown domain {domain!r}") from None
 
     def all_urls(self) -> list[str]:
         """All 100 corpus URLs (25 landing + 75 internal)."""
@@ -188,11 +192,30 @@ class SiteGenerator:
         domain, _, _ = url.partition("/")
         site = self.website(domain)
         cadence = CATEGORY_REFRESH_HOURS[site.category]
+        last = (hour // cadence) * cadence if hour >= 0 else 0
+        if last <= 0:
+            return 0
+        memo = self._epoch_memo
+        cached = memo.get((url, last))
+        if cached is not None:
+            return cached
+        # Resume from the nearest memoized tick; each churn draw is
+        # independent per (url, h), so partial evaluation is exact.
         epoch = 0
-        for h in range(cadence, hour + 1, cadence):
+        start = cadence
+        for h in range(last - cadence, 0, -cadence):
+            prev = memo.get((url, h))
+            if prev is not None:
+                epoch = prev
+                start = h + cadence
+                break
+        if len(memo) > 200_000:  # soft bound; refilled on demand
+            memo.clear()
+        for h in range(start, last + 1, cadence):
             gate = derive_rng(self.seed, "churn", url, h)
             if gate.random() < self.diurnal_activity(h):
                 epoch += 1
+            memo[(url, h)] = epoch
         return epoch
 
     def changed_at(self, url: str, hour: int) -> bool:

@@ -7,6 +7,44 @@ from repro.imaging.codec import CodecError, SWebpCodec
 from repro.imaging.metrics import psnr_db
 
 
+class TestGoldenBytes:
+    """Pinned encode digests from the original (dense, pre-LUT) encoder.
+
+    The flat-block dedup, pair-LUT colour conversion, and strided
+    downsample are pure restructurings: if any of them stops being
+    bit-exact, these digests move.
+    """
+
+    _GOLDEN = {
+        ("noise", 10): "d95f96ee5f3c78bc",
+        ("noise", 50): "1fb1b1d78a11a1cb",
+        ("noise", 90): "70f478ede5a2d006",
+        ("banded", 10): "5e5292484baabdf2",
+        ("banded", 50): "128c8b156db00a3c",
+        ("banded", 90): "8d83a1e08152e460",
+    }
+
+    @staticmethod
+    def _images():
+        rng = np.random.default_rng(1234)
+        noise = rng.integers(0, 256, (48, 40, 3), dtype=np.uint8)
+        banded = np.zeros((64, 48, 3), dtype=np.uint8)
+        banded[:20] = (200, 30, 30)
+        banded[20:44] = (245, 245, 245)
+        banded[44:] = (10, 60, 120)
+        banded[::7, :, :] = (0, 0, 0)
+        return {"noise": noise, "banded": banded}
+
+    @pytest.mark.parametrize("quality", [10, 50, 90])
+    def test_encode_bytes_pinned(self, quality):
+        import hashlib
+
+        for name, img in self._images().items():
+            data = SWebpCodec(quality=quality).encode(img)
+            digest = hashlib.sha256(data).hexdigest()[:16]
+            assert digest == self._GOLDEN[(name, quality)]
+
+
 class TestRoundTrip:
     def test_color_decode_shape_dtype(self, page_image):
         codec = SWebpCodec(50)

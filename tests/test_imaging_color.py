@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.imaging.color import downsample_420, rgb_to_ycbcr, upsample_420, ycbcr_to_rgb
+from repro.imaging.color import (
+    downsample_420,
+    rgb_to_ycbcr,
+    upsample_420,
+    ycbcr_planes,
+    ycbcr_to_rgb,
+)
 
 
 class TestYCbCr:
@@ -30,6 +36,47 @@ class TestYCbCr:
     def test_shape_validated(self):
         with pytest.raises(ValueError):
             rgb_to_ycbcr(np.zeros((4, 4), dtype=np.uint8))
+
+
+class TestYcbcrPlanesBitParity:
+    """The LUT + row-dedup fast path must match the direct formula bitwise."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 40), st.integers(1, 40))
+    def test_random_images(self, seed, h, w):
+        rng = np.random.default_rng(seed)
+        img = rng.integers(0, 256, (h, w, 3), dtype=np.uint8)
+        ref = rgb_to_ycbcr(img)
+        for i, plane in enumerate(ycbcr_planes(img)):
+            assert plane.tobytes() == np.ascontiguousarray(ref[..., i]).tobytes()
+
+    def test_repeated_rows_exercise_dedup(self):
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, 256, (4, 17, 3), dtype=np.uint8)
+        img = rows[np.repeat(np.arange(4), [1, 30, 2, 30])]
+        ref = rgb_to_ycbcr(img)
+        for i, plane in enumerate(ycbcr_planes(img)):
+            assert plane.tobytes() == np.ascontiguousarray(ref[..., i]).tobytes()
+
+    def test_non_uint8_falls_back(self):
+        img = np.random.default_rng(0).uniform(0, 255, (6, 6, 3))
+        ref = rgb_to_ycbcr(img)
+        for i, plane in enumerate(ycbcr_planes(img)):
+            assert plane.tobytes() == np.ascontiguousarray(ref[..., i]).tobytes()
+
+
+class TestDownsampleBitParity:
+    """Explicit strided adds must match ``mean(axis=(1, 3))`` bitwise."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 23), st.integers(1, 23))
+    def test_random_planes(self, seed, h, w):
+        rng = np.random.default_rng(seed)
+        plane = rng.uniform(0.0, 255.0, (h, w))
+        padded = np.pad(plane, ((0, h % 2), (0, w % 2)), mode="edge")
+        ph, pw = padded.shape
+        ref = padded.reshape(ph // 2, 2, pw // 2, 2).mean(axis=(1, 3))
+        assert downsample_420(plane).tobytes() == ref.tobytes()
 
 
 class TestSubsampling:

@@ -78,6 +78,30 @@ class TestChurn:
             ) != site_generator.effective_epoch(url, hour - 1)
             assert changed == delta
 
+    def test_epoch_memo_independent_of_query_order(self):
+        """The incremental memo must agree with the direct tick-by-tick
+        definition whatever order hours are asked in."""
+        import random
+
+        from repro.util.rng import derive_rng
+
+        def direct(g, url, hour):
+            cadence = CATEGORY_REFRESH_HOURS[
+                g.website(url.partition("/")[0]).category
+            ]
+            epoch = 0
+            for h in range(cadence, hour + 1, cadence):
+                gate = derive_rng(g.seed, "churn", url, h)
+                if gate.random() < g.diurnal_activity(h):
+                    epoch += 1
+            return epoch
+
+        gen = SiteGenerator(seed=13, n_sites=4)
+        queries = [(u, h) for u in gen.all_urls() for h in range(-1, 36)]
+        random.Random(0).shuffle(queries)
+        for url, hour in queries:
+            assert gen.effective_epoch(url, hour) == direct(gen, url, hour)
+
     def test_news_churns_more_than_government(self, site_generator):
         by_cat = {}
         for site in site_generator.websites():
