@@ -1022,6 +1022,154 @@ def _bench_smoke(repo_root: Path) -> int:
             file=sys.stderr,
         )
         return 1
+    # --- modem family gate: vectorised decode stage vs scalar reference ---
+    from repro.modem import AudioQrModem, FskModem, GmskModem
+
+    if "modem_family" not in baseline:
+        print(
+            "error: BENCH_pipeline.json has no modem_family section — "
+            "run `python -m repro bench -k modem_family` once to establish "
+            "the baseline",
+            file=sys.stderr,
+        )
+        return 1
+    # Same specs as benchmarks/perf/test_perf_modem_family.py.  The fsk
+    # decode stage is tens of ms, so a single pass is all timing noise —
+    # it gets best-of-5; the multi-second gmsk/audioqr stages have floor
+    # headroom well beyond single-pass jitter.
+    family_specs = {
+        "fsk": (FskModem, [220] * 8, 1500, 5),
+        "gmsk": (GmskModem, [256] * 40, 2000, 1),
+        "audioqr": (AudioQrModem, [150] * 6, 1500, 1),
+    }
+    fam_rng = np.random.default_rng(67)
+    for i, (name, (cls, sizes, gap, repeats)) in enumerate(family_specs.items()):
+        fam_modem = cls()
+        payloads = [
+            bytes(fam_rng.integers(0, 256, n, dtype=np.uint8)) for n in sizes
+        ]
+        cap_rng = np.random.default_rng(70 + i)
+        parts = [np.zeros(1200)]
+        for p in payloads:
+            parts.append(fam_modem.transmit(p))
+            parts.append(np.zeros(gap))
+        cap = np.concatenate(parts)
+        cap = cap + 0.01 * cap_rng.standard_normal(cap.size)
+        peaks = fam_modem.sync.scan(cap)  # shared by both paths; untimed
+        offset = fam_modem.sync.template.size
+
+        def run_ref():
+            return [
+                m for start, _ in peaks
+                if (m := fam_modem._decode_peak_ref(cap, start)) is not None
+            ]
+
+        def run_batch():
+            out = []
+            for start, _ in peaks:
+                status, payload = fam_modem.decode_attempt(
+                    cap[start + offset:], eos=True
+                )
+                if status == "done" and payload is not None:
+                    out.append(payload)
+            return out
+
+        ref_msgs = run_ref()  # warm-up doubles as the correctness probe
+        batch_msgs = run_batch()
+        ref_s = batch_s = np.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_ref()
+            ref_s = min(ref_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            run_batch()
+            batch_s = min(batch_s, time.perf_counter() - t0)
+        fam_base = baseline["modem_family"][name]
+        speedup = ref_s / batch_s
+        print(f"{name + ' decode:':<17}{speedup:.1f}x vs scalar ref "
+              f"(baseline {fam_base['speedup']:.1f}x, floor "
+              f"{fam_base['floor']:g}x), {len(batch_msgs)} messages")
+        if batch_msgs != ref_msgs or batch_msgs != payloads:
+            print(f"error: {name} batch decode diverged from scalar reference",
+                  file=sys.stderr)
+            return 1
+        if speedup < fam_base["floor"]:
+            print(
+                f"error: {name} decode stage below its {fam_base['floor']:g}x "
+                f"floor ({speedup:.1f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        if speedup < 0.7 * fam_base["speedup"]:
+            print(
+                f"error: {name} decode speedup regressed >30% "
+                f"({speedup:.1f}x vs baseline {fam_base['speedup']:.1f}x)",
+                file=sys.stderr,
+            )
+            return 1
+
+    # --- tournament gate: warm SweepStore answers the whole sweep ---
+    import tempfile
+
+    from repro.sim.tournament import TournamentConfig, run_tournament
+
+    if "tournament" not in baseline:
+        print(
+            "error: BENCH_pipeline.json has no tournament section — "
+            "run `python -m repro bench -k tournament` once to establish "
+            "the baseline",
+            file=sys.stderr,
+        )
+        return 1
+    with tempfile.TemporaryDirectory() as sweep_dir:
+        # Same spec as benchmarks/perf/test_perf_tournament.py.
+        sweep_config = TournamentConfig(
+            snr_grid_db=(-2.0, 2.0, 6.0, 12.0),
+            distance_grid_m=(0.2, 0.8),
+            rssi_grid_dbm=(-70.0, -88.0),
+            payload_bytes=24,
+            n_messages=4,
+            master_seed=11,
+            store_dir=sweep_dir,
+        )
+        t0 = time.perf_counter()
+        cold_sweep = run_tournament(sweep_config, processes=1)
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_sweep = run_tournament(sweep_config, processes=1)
+        t_warm = time.perf_counter() - t0
+    sweep_base = baseline["tournament"]["warm_speedup"]
+    sweep_ratio = t_cold / t_warm
+    print(f"tournament:      {len(cold_sweep.cells)} cells, warm store "
+          f"{sweep_ratio:.0f}x vs cold (baseline {sweep_base:.0f}x)")
+    cell_key = lambda c: (c.profile, c.axis, c.value, c.n_frames, c.n_lost)
+    if [cell_key(c) for c in warm_sweep.cells] != [
+        cell_key(c) for c in cold_sweep.cells
+    ]:
+        print("error: warm tournament cells differ from the cold sweep",
+              file=sys.stderr)
+        return 1
+    if warm_sweep.n_cached != len(warm_sweep.cells):
+        print("error: warm tournament re-measured cells", file=sys.stderr)
+        return 1
+    frontier_profiles = {row["profile"] for row in cold_sweep.frontier()}
+    if frontier_profiles != set(sweep_config.profiles):
+        print("error: frontier does not cover every profile", file=sys.stderr)
+        return 1
+    from repro.sim.tournament import write_frontier_report
+
+    write_frontier_report(
+        cold_sweep,
+        ledger_dir / "frontier.json",
+        ledger_dir / "frontier.svg",
+    )
+    print(f"frontier:        {ledger_dir / 'frontier.json'} (+ .svg)")
+    if sweep_ratio < 100.0:
+        print(
+            f"error: warm SweepStore below the 100x floor ({sweep_ratio:.0f}x)",
+            file=sys.stderr,
+        )
+        return 1
     print("perf smoke ok")
     return 0
 
@@ -1050,6 +1198,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if code == 0 and out.exists():
         print(f"\nresults -> {out}")
     return code
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    """Sweep every modem profile across the channel matrix."""
+    from repro.sim.tournament import (
+        SweepStore,
+        TournamentConfig,
+        run_tournament,
+        write_frontier_report,
+    )
+
+    def _floats(text: str) -> tuple[float, ...]:
+        return tuple(float(v) for v in text.split(",") if v.strip())
+
+    config = TournamentConfig(
+        profiles=tuple(p.strip() for p in args.profiles.split(",") if p.strip()),
+        snr_grid_db=_floats(args.snr_db),
+        distance_grid_m=_floats(args.distance_m),
+        rssi_grid_dbm=_floats(args.rssi_dbm),
+        payload_bytes=args.payload_bytes,
+        n_messages=args.messages,
+        master_seed=args.seed,
+        loss_threshold=args.loss_threshold,
+        store_dir=args.store,
+    )
+    result = run_tournament(
+        config,
+        processes=args.processes,
+        store=SweepStore(args.store) if args.store else None,
+    )
+    print(
+        f"swept {len(result.cells)} cells ({result.n_cached} from store) "
+        f"in {result.elapsed_s:.1f}s with {result.processes} process(es)"
+    )
+    for axis, unit in (("awgn", "dB SNR"), ("acoustic", "m"), ("fm", "dBm")):
+        print(f"\n{axis} axis ({unit}):")
+        for profile in config.profiles:
+            cells = result.cells_for(profile, axis)
+            losses = "  ".join(
+                f"{c.value:>7g}: {100 * c.loss_rate:3.0f}%" for c in cells
+            )
+            print(f"  {profile:<12} {losses}")
+    print("\nrate-vs-robustness frontier "
+          f"(loss <= {config.loss_threshold:g}):")
+    print(f"  {'profile':<12} {'net bps':>9}  {'min SNR':>8}  "
+          f"{'max dist':>9}  {'min RSSI':>9}")
+    for row in result.frontier():
+        fmt = lambda v, suffix: "-" if v is None else f"{v:g}{suffix}"
+        print(
+            f"  {row['profile']:<12} {row['net_bps']:>9.0f}  "
+            f"{fmt(row['min_snr_db'], ' dB'):>8}  "
+            f"{fmt(row['max_distance_m'], ' m'):>9}  "
+            f"{fmt(row['min_rssi_dbm'], ''):>9}"
+        )
+    if args.json or args.svg:
+        json_path = Path(args.json) if args.json else Path("frontier.json")
+        write_frontier_report(
+            result, json_path, Path(args.svg) if args.svg else None
+        )
+        print(f"\nfrontier -> {json_path}" + (f", {args.svg}" if args.svg else ""))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1108,6 +1317,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="quick gate: fail if receiver decode regressed >30%% "
                         "vs the checked-in BENCH_pipeline.json")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "tournament",
+        help="sweep every modem profile across the channel matrix and "
+             "report the rate-vs-robustness frontier",
+    )
+    p.add_argument("--profiles", default="sonic-ofdm,fsk,gmsk,audioqr",
+                   help="comma-separated profiles to race")
+    p.add_argument("--snr-db", default="0,4,8,14",
+                   help="comma-separated AWGN SNR grid (dB)")
+    p.add_argument("--distance-m", default="0.3,0.8,1.3",
+                   help="comma-separated acoustic distance grid (m)")
+    p.add_argument("--rssi-dbm", default="-70,-85,-91",
+                   help="comma-separated FM RSSI grid (dBm)")
+    p.add_argument("--payload-bytes", type=int, default=32,
+                   help="probe message size for the baseline modems")
+    p.add_argument("--messages", type=int, default=4,
+                   help="probe messages (or OFDM frames) per cell")
+    p.add_argument("--loss-threshold", type=float, default=0.1,
+                   help="frontier operating point (max loss rate)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--processes", type=int, default=None,
+                   help="worker processes (default: one per core; 1 = serial)")
+    p.add_argument("--store", default=None,
+                   help="SweepStore directory for memoised cells")
+    p.add_argument("--json", default=None, help="write the frontier JSON here")
+    p.add_argument("--svg", default=None, help="write the frontier SVG here")
+    p.set_defaults(func=_cmd_tournament)
 
     p = sub.add_parser(
         "fleet", help="broadcast one waveform to N simulated receivers"

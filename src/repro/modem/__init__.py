@@ -17,6 +17,7 @@ from repro.modem.frame import FrameCodec, FecConfig
 from repro.modem.profiles import ModemProfile, get_profile, list_profiles
 from repro.modem.modem import Modem, ReceivedFrame
 from repro.modem.streaming import StreamingReceiver
+from repro.modem.message import MessageStreamingReceiver, PreambleSync
 from repro.modem.fsk import FskModem, FskConfig
 from repro.modem.gmsk import GmskModem, GmskConfig
 from repro.modem.audioqr import AudioQrModem, AudioQrConfig
@@ -33,6 +34,8 @@ __all__ = [
     "Modem",
     "ReceivedFrame",
     "StreamingReceiver",
+    "MessageStreamingReceiver",
+    "PreambleSync",
     "FskModem",
     "FskConfig",
     "GmskModem",

@@ -10,6 +10,11 @@ This baseline encodes each bit as an up- or down-chirp in the
 near-ultrasonic band and decodes by correlating against both templates —
 the design point SONIC rejects ("sacrifices transmission speed for high
 distance, while we target very low air distance").
+
+The receive path correlates every bit window against both chirp
+templates in one batched matrix product; the original per-bit scalar
+decoder survives as :meth:`receive_ref`, the golden reference the batch
+path is property-tested against.
 """
 
 from __future__ import annotations
@@ -17,10 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import signal
 
 from repro.dsp.chirp import linear_chirp, matched_filter_peak
 from repro.fec.crc import crc16_ccitt
+from repro.modem.message import MessageStreamingReceiver, PreambleSync
 from repro.util.bits import bits_to_bytes, bytes_to_bits
 
 __all__ = ["AudioQrConfig", "AudioQrModem"]
@@ -55,6 +60,7 @@ class AudioQrModem:
     """1 bit per chirp: up-chirp = 1, down-chirp = 0."""
 
     MAX_PAYLOAD = 255
+    SYNC_THRESHOLD = 0.35
 
     def __init__(self, config: AudioQrConfig = AudioQrConfig()) -> None:
         self.config = config
@@ -70,6 +76,9 @@ class AudioQrModem:
         # Frame marker: a double-length up-down sweep.
         marker = np.concatenate([self._up, self._down])
         self._marker = marker * cfg.amplitude
+        # Both templates side by side for the batched bit decisions.
+        self._templates = np.column_stack([self._up, self._down])
+        self.sync = PreambleSync(self._marker, threshold=self.SYNC_THRESHOLD)
 
     def transmit(self, payload: bytes) -> np.ndarray:
         """Encode 1..255 bytes as a chirp train."""
@@ -83,31 +92,79 @@ class AudioQrModem:
             chunks.append(cfg.amplitude * (self._up if bit else self._down))
         return np.concatenate(chunks)
 
+    # -- receive -----------------------------------------------------------
+
+    def _detect_bits(self, flat: np.ndarray) -> np.ndarray:
+        """Up-vs-down decisions for a run of back-to-back bit windows."""
+        windows = flat.reshape(-1, self.config.symbol_samples)
+        energies = windows @ self._templates
+        return (np.abs(energies[:, 0]) > np.abs(energies[:, 1])).astype(np.uint8)
+
+    def decode_attempt(self, body: np.ndarray, eos: bool) -> tuple[str, bytes | None]:
+        """Incremental decode of the samples following one marker peak."""
+        n_sym = self.config.symbol_samples
+        header = 8 * n_sym
+        if body.size < header:
+            return ("done", None) if eos else ("need", header)
+        n = int(np.packbits(self._detect_bits(body[:header]))[0])
+        if n == 0:
+            return ("done", None)
+        total_bits = (1 + n + 2) * 8
+        total = total_bits * n_sym
+        if body.size < total:
+            return ("done", None) if eos else ("need", total)
+        stream = bits_to_bytes(self._detect_bits(body[:total]))
+        payload = stream[1 : 1 + n]
+        stored = int.from_bytes(stream[1 + n : 1 + n + 2], "big")
+        if crc16_ccitt(payload) == stored:
+            return ("done", payload)
+        return ("done", None)
+
+    def stream(self) -> MessageStreamingReceiver:
+        """Chunk-fed receiver, bit-identical to :meth:`receive`."""
+        return MessageStreamingReceiver(self)
+
     def receive(self, samples: np.ndarray) -> list[bytes]:
-        """Correlation receiver: per-symbol up-vs-down energy decision."""
+        """Decode every message found in ``samples`` (batch path)."""
+        rx = self.stream()
+        messages = rx.push(np.asarray(samples, dtype=np.float64))
+        return messages + rx.finish()
+
+    # -- scalar golden reference ------------------------------------------
+
+    def receive_ref(self, samples: np.ndarray) -> list[bytes]:
+        """Original per-bit scalar correlation receiver (golden reference)."""
         samples = np.asarray(samples, dtype=np.float64)
-        cfg = self.config
-        n_sym = cfg.symbol_samples
-        peaks = matched_filter_peak(samples, self._marker, threshold=0.35)
+        peaks = matched_filter_peak(
+            samples, self._marker, threshold=self.SYNC_THRESHOLD
+        )
         messages: list[bytes] = []
         for start, _score in peaks:
-            pos = start + self._marker.size
-            if pos + 8 * n_sym > samples.size:
-                continue
-            length_bits = self._read_bits(samples, pos, 8)
-            n = int(bits_to_bytes_safe(length_bits))
-            if n == 0:
-                continue
-            total_bits = (1 + n + 2) * 8
-            if pos + total_bits * n_sym > samples.size:
-                continue
-            bits = self._read_bits(samples, pos, total_bits)
-            stream = bits_to_bytes(bits)
-            payload = stream[1 : 1 + n]
-            stored = int.from_bytes(stream[1 + n : 1 + n + 2], "big")
-            if crc16_ccitt(payload) == stored:
+            payload = self._decode_peak_ref(samples, start)
+            if payload is not None:
                 messages.append(payload)
         return messages
+
+    def _decode_peak_ref(self, samples: np.ndarray, start: int) -> bytes | None:
+        """Scalar decode of the message at one marker peak (seed logic)."""
+        n_sym = self.config.symbol_samples
+        pos = start + self._marker.size
+        if pos + 8 * n_sym > samples.size:
+            return None
+        length_bits = self._read_bits(samples, pos, 8)
+        n = int(bits_to_bytes_safe(length_bits))
+        if n == 0:
+            return None
+        total_bits = (1 + n + 2) * 8
+        if pos + total_bits * n_sym > samples.size:
+            return None
+        bits = self._read_bits(samples, pos, total_bits)
+        stream = bits_to_bytes(bits)
+        payload = stream[1 : 1 + n]
+        stored = int.from_bytes(stream[1 + n : 1 + n + 2], "big")
+        if crc16_ccitt(payload) == stored:
+            return payload
+        return None
 
     def _read_bits(self, samples: np.ndarray, pos: int, count: int) -> np.ndarray:
         cfg = self.config
@@ -129,8 +186,9 @@ class AudioQrModem:
 
 
 def bits_to_bytes_safe(bits: np.ndarray) -> int:
-    """First byte value of a bit vector (length 8)."""
-    value = 0
-    for b in bits:
-        value = (value << 1) | int(b)
-    return value
+    """MSB-first integer value of a bit vector (typically length 8)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size == 0:
+        return 0
+    padded = np.concatenate([np.zeros((-bits.size) % 8, dtype=np.uint8), bits])
+    return int.from_bytes(np.packbits(padded).tobytes(), "big")

@@ -5,6 +5,12 @@ data-over-sound tools: GGwave reaches ~128 bps using frequency-shift
 keying.  This module implements that class of modem — 4 bits per symbol,
 one of 16 tones per symbol slot, non-coherent energy detection — so the
 rate comparison in the RATES benchmark is measured rather than quoted.
+
+The receive path is batched: every symbol window in a message is scored
+against the whole tone bank in one strided-window matrix product, and
+symbol/byte packing runs through ``np.unpackbits``/``np.packbits``.  The
+original per-symbol scalar decoder survives as :meth:`receive_ref`, the
+golden reference the batch path is property-tested against.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import numpy as np
 
 from repro.dsp.chirp import linear_chirp, matched_filter_peak
 from repro.fec.crc import crc16_ccitt
+from repro.modem.message import MessageStreamingReceiver, PreambleSync
 
 __all__ = ["FskConfig", "FskModem"]
 
@@ -57,6 +64,7 @@ class FskModem:
     """Length-prefixed, CRC-16-protected FSK transceiver."""
 
     MAX_PAYLOAD = 255
+    SYNC_THRESHOLD = 0.4
 
     def __init__(self, config: FskConfig = FskConfig()) -> None:
         self.config = config
@@ -72,9 +80,20 @@ class FskModem:
                 for i in range(config.num_tones)
             ]
         )
+        # Tone bank transposed once for the strided-window batch product.
+        self._bank = np.ascontiguousarray(self._tones.T)
+        self.sync = PreambleSync(self._preamble, threshold=self.SYNC_THRESHOLD)
 
     def _symbols_for(self, message: bytes) -> np.ndarray:
         """Split bytes into tone indices (nibbles, high first, for 16 tones)."""
+        bits_per = self.config.bits_per_symbol
+        data = np.frombuffer(message, dtype=np.uint8)
+        weights = 1 << np.arange(bits_per - 1, -1, -1)
+        groups = np.unpackbits(data).reshape(-1, bits_per)
+        return (groups * weights).sum(axis=1).astype(np.int64)
+
+    def _symbols_for_ref(self, message: bytes) -> np.ndarray:
+        """Scalar per-byte/per-shift packing (golden reference)."""
         bits_per = self.config.bits_per_symbol
         data = np.frombuffer(message, dtype=np.uint8)
         symbols = []
@@ -91,45 +110,98 @@ class FskModem:
             raise ValueError(f"payload must be 1..{self.MAX_PAYLOAD} bytes")
         crc = crc16_ccitt(payload)
         message = bytes([len(payload)]) + payload + crc.to_bytes(2, "big")
-        chunks = [self._preamble]
-        for sym in self._symbols_for(message):
-            chunks.append(self.config.amplitude * self._tones[sym])
-        return np.concatenate(chunks)
+        symbols = self._symbols_for(message)
+        body = self.config.amplitude * self._tones[symbols].reshape(-1)
+        return np.concatenate([self._preamble, body])
 
-    # -- receive ----------------------------------------------------------
+    # -- receive -----------------------------------------------------------
+
+    def _detect_symbols(self, flat: np.ndarray) -> np.ndarray:
+        """Tone decisions for a run of back-to-back symbol windows."""
+        windows = flat.reshape(-1, self.config.symbol_samples)
+        energies = windows @ self._bank
+        return np.argmax(np.abs(energies), axis=1)
+
+    def _pack_symbols(self, symbols: np.ndarray) -> np.ndarray:
+        """Pack tone indices back into bytes (inverse of `_symbols_for`)."""
+        bits_per = self.config.bits_per_symbol
+        bits = np.unpackbits(symbols.astype(np.uint8)[:, None], axis=1)[:, 8 - bits_per :]
+        return np.packbits(bits.ravel())
+
+    def decode_attempt(self, body: np.ndarray, eos: bool) -> tuple[str, bytes | None]:
+        """Incremental decode of the samples following one sync peak."""
+        cfg = self.config
+        sym_n = cfg.symbol_samples
+        per_byte = 8 // cfg.bits_per_symbol
+        header = per_byte * sym_n
+        if body.size < header:
+            return ("done", None) if eos else ("need", header)
+        n = int(self._pack_symbols(self._detect_symbols(body[:header]))[0])
+        if n == 0:
+            return ("done", None)
+        total = (1 + n + 2) * per_byte * sym_n
+        if body.size < total:
+            return ("done", None) if eos else ("need", total)
+        data = self._pack_symbols(self._detect_symbols(body[:total]))
+        payload = data[1 : 1 + n].tobytes()
+        stored = int.from_bytes(data[1 + n : 1 + n + 2].tobytes(), "big")
+        if crc16_ccitt(payload) == stored:
+            return ("done", payload)
+        return ("done", None)
+
+    def stream(self) -> MessageStreamingReceiver:
+        """Chunk-fed receiver, bit-identical to :meth:`receive`."""
+        return MessageStreamingReceiver(self)
+
+    def receive(self, samples: np.ndarray) -> list[bytes]:
+        """Decode every FSK message found in ``samples`` (batch path)."""
+        rx = self.stream()
+        messages = rx.push(np.asarray(samples, dtype=np.float64))
+        return messages + rx.finish()
+
+    # -- scalar golden reference ------------------------------------------
 
     def _detect_symbol(self, window: np.ndarray) -> int:
         energies = self._tones @ window
         return int(np.argmax(np.abs(energies)))
 
-    def receive(self, samples: np.ndarray) -> list[bytes]:
-        """Decode every FSK message found in ``samples``."""
+    def receive_ref(self, samples: np.ndarray) -> list[bytes]:
+        """Original per-symbol scalar decoder (golden reference)."""
         samples = np.asarray(samples, dtype=np.float64)
+        peaks = matched_filter_peak(
+            samples, self._preamble, threshold=self.SYNC_THRESHOLD
+        )
+        messages: list[bytes] = []
+        for start, _score in peaks:
+            payload = self._decode_peak_ref(samples, start)
+            if payload is not None:
+                messages.append(payload)
+        return messages
+
+    def _decode_peak_ref(self, samples: np.ndarray, start: int) -> bytes | None:
+        """Scalar decode of the message at one sync peak (seed logic)."""
         cfg = self.config
         sym_n = cfg.symbol_samples
         per_byte = 8 // cfg.bits_per_symbol
-        peaks = matched_filter_peak(samples, self._preamble, threshold=0.4)
-        messages: list[bytes] = []
-        for start, _score in peaks:
-            pos = start + self._preamble.size
-            # Read the length byte first, then the rest.
-            if pos + per_byte * sym_n > samples.size:
-                continue
-            length = self._read_bytes(samples, pos, 1)
-            if length is None:
-                continue
-            n = length[0]
-            if n == 0:
-                continue
-            total = 1 + n + 2
-            body = self._read_bytes(samples, pos, total)
-            if body is None:
-                continue
-            payload = body[1 : 1 + n]
-            stored = int.from_bytes(body[1 + n : 1 + n + 2], "big")
-            if crc16_ccitt(payload) == stored:
-                messages.append(bytes(payload))
-        return messages
+        pos = start + self._preamble.size
+        # Read the length byte first, then the rest.
+        if pos + per_byte * sym_n > samples.size:
+            return None
+        length = self._read_bytes(samples, pos, 1)
+        if length is None:
+            return None
+        n = length[0]
+        if n == 0:
+            return None
+        total = 1 + n + 2
+        body = self._read_bytes(samples, pos, total)
+        if body is None:
+            return None
+        payload = body[1 : 1 + n]
+        stored = int.from_bytes(body[1 + n : 1 + n + 2], "big")
+        if crc16_ccitt(payload) == stored:
+            return bytes(payload)
+        return None
 
     def _read_bytes(self, samples: np.ndarray, pos: int, count: int) -> bytearray | None:
         cfg = self.config

@@ -10,6 +10,16 @@ Implementation: bits -> NRZ -> Gaussian filter (BT configurable) ->
 phase integration with modulation index 0.5 -> upconversion to an audio
 carrier.  The receiver downconverts to I/Q, differentiates the phase,
 matched-filters, and recovers symbol timing from the preamble chirp.
+
+The batch receive path runs the frequency discriminator once per burst
+over a bounded window (the original decoder re-filtered everything from
+each peak to the end of the capture), makes all four sub-symbol timing
+hypotheses with one vectorised gather-sum each, and locates the sync
+word with a sliding-window comparison.  A cheap header peek sizes the
+decode window from the recovered length field, so short frames never pay
+for the 4 KiB worst case.  The original scalar decoder survives as
+:meth:`receive_ref`, the golden reference the batch path is
+property-tested against.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from scipy import signal
 from repro.dsp.chirp import linear_chirp, matched_filter_peak
 from repro.dsp.filters import fir_lowpass, filter_signal
 from repro.fec.crc import crc16_ccitt
+from repro.modem.message import MessageStreamingReceiver, PreambleSync
 from repro.util.bits import bits_to_bytes, bytes_to_bits
 
 __all__ = ["GmskConfig", "GmskModem"]
@@ -67,7 +78,9 @@ class GmskModem:
     """Length-prefixed, CRC-16-protected GMSK transceiver."""
 
     MAX_PAYLOAD = 4_096
+    SYNC_THRESHOLD = 0.4
     _SYNC_WORD = 0xD391  # 16-bit sync pattern after the preamble
+    _SHIFT_LIMIT = 40  # bit-level sync search range
 
     def __init__(self, config: GmskConfig = GmskConfig()) -> None:
         self.config = config
@@ -81,6 +94,22 @@ class GmskModem:
             amplitude=config.amplitude,
         )
         self._lp = fir_lowpass(config.symbol_rate, config.sample_rate, 127)
+        self._sync_bits = bytes_to_bits(self._SYNC_WORD.to_bytes(2, "big"))
+        # Group-delay of the pulse shaping centres decisions mid-symbol.
+        self._delay = (self._pulse.size - 1) // 2
+        # Samples whose discriminator output is settled: the low-pass FIR
+        # reaches `lp.size // 2` samples ahead, so the trailing margin of
+        # any window is edge-affected and never used for decisions.
+        self._margin = self._lp.size + sps
+        max_koff = 3 * sps // 4
+        # Header peek: enough settled bits to run the full sync-shift
+        # search plus the 16-bit length field under every timing offset.
+        hdr_bits = self._SHIFT_LIMIT + 16 + 16
+        self._hdr_need = self._delay + max_koff + (hdr_bits + 1) * sps + self._margin
+        # Hard ceiling: the largest frame the sync search can ever accept.
+        cap_bits = self._SHIFT_LIMIT + 16 + (4 + self.MAX_PAYLOAD) * 8 + 1
+        self._cap = self._delay + max_koff + cap_bits * sps + self._margin
+        self.sync = PreambleSync(self._preamble, threshold=self.SYNC_THRESHOLD)
 
     # -- modulation ------------------------------------------------------------
 
@@ -133,28 +162,146 @@ class GmskModem:
         freq = np.angle(z[1:] * np.conj(z[:-1]))
         return np.concatenate([[0.0], freq])
 
+    def _decode_bits_batch(self, freq: np.ndarray, delay: int, sps: int) -> np.ndarray:
+        """Vectorised symbol integration (same sums as `_decode_bits`)."""
+        max_bits = (freq.size - delay) // sps
+        if max_bits <= 0:
+            return np.zeros(0, dtype=np.uint8)
+        centers = delay + np.arange(max_bits) * sps
+        idx = np.minimum(centers[:, None] + np.arange(sps)[None, :], freq.size - 1)
+        sums = freq[idx].sum(axis=1)
+        return (sums > 0).astype(np.uint8)
+
+    def _sync_shifts(self, bits: np.ndarray) -> np.ndarray:
+        """All shifts (ascending, ref search order) where the sync word lands."""
+        limit = min(bits.size - 16, self._SHIFT_LIMIT)
+        if limit < 0:
+            return np.zeros(0, dtype=np.int64)
+        windows = np.lib.stride_tricks.sliding_window_view(bits[: limit + 16], 16)
+        return np.flatnonzero((windows == self._sync_bits).all(axis=1))
+
+    def _frame_from_bits_batch(self, bits: np.ndarray) -> bytes | None:
+        if bits.size < 48:
+            return None
+        for shift in self._sync_shifts(bits):
+            frame = bits[shift + 16 :]
+            usable = frame[: (frame.size // 8) * 8]
+            if usable.size < 32:
+                continue
+            stream = bits_to_bytes(usable)
+            length = int.from_bytes(stream[0:2], "big")
+            if length == 0 or 2 + length + 2 > len(stream):
+                continue
+            payload = stream[2 : 2 + length]
+            stored = int.from_bytes(stream[2 + length : 2 + length + 2], "big")
+            if crc16_ccitt(payload) == stored:
+                return payload
+        return None
+
+    def _decode_window(self, window: np.ndarray) -> bytes | None:
+        """Full decode of one canonical post-preamble window."""
+        sps = self.config.samples_per_symbol
+        freq = self._instantaneous_freq(window)
+        for k in range(4):
+            bits = self._decode_bits_batch(freq, self._delay + k * sps // 4, sps)
+            message = self._frame_from_bits_batch(bits)
+            if message is not None:
+                return message
+        return None
+
+    def _need_from_header(self, body: np.ndarray) -> int | None:
+        """Decode-window budget from the header peek, or ``None`` if no
+        sync candidate can ever produce a frame (early reject)."""
+        sps = self.config.samples_per_symbol
+        freq = self._instantaneous_freq(body[: self._hdr_need])
+        trusted = freq.size - self._margin
+        need: int | None = None
+        for k in range(4):
+            delay = self._delay + k * sps // 4
+            n_bits = (trusted - delay) // sps
+            if n_bits <= 0:
+                continue
+            bits = self._decode_bits_batch(freq, delay, sps)[:n_bits]
+            for shift in self._sync_shifts(bits):
+                length = int.from_bytes(
+                    np.packbits(bits[shift + 16 : shift + 32]).tobytes(), "big"
+                )
+                if length == 0:
+                    continue
+                last_bit = shift + 16 + (4 + length) * 8
+                cand = delay + (last_bit + 1) * sps + self._margin
+                need = cand if need is None else max(need, cand)
+        return min(need, self._cap) if need is not None else None
+
+    def decode_attempt(self, body: np.ndarray, eos: bool) -> tuple[str, bytes | None]:
+        """Incremental decode of the samples following one sync peak.
+
+        The decode window is a canonical function of the capture content
+        (header peek -> sample budget), so chunk-fed and whole-capture
+        decoding examine byte-identical windows.
+        """
+        sps = self.config.samples_per_symbol
+        if body.size <= 8 * sps:
+            return ("done", None) if eos else ("need", 8 * sps + 1)
+        if body.size < self._hdr_need:
+            if not eos:
+                return ("need", self._hdr_need)
+            return ("done", self._decode_window(body))
+        need = self._need_from_header(body)
+        if need is None:
+            return ("done", None)
+        if body.size >= need:
+            return ("done", self._decode_window(body[:need]))
+        if eos:
+            return ("done", self._decode_window(body))
+        return ("need", need)
+
+    def stream(self) -> MessageStreamingReceiver:
+        """Chunk-fed receiver, bit-identical to :meth:`receive`."""
+        return MessageStreamingReceiver(self)
+
     def receive(self, samples: np.ndarray) -> list[bytes]:
-        """Decode every GMSK message found in ``samples``."""
+        """Decode every GMSK message found in ``samples`` (batch path)."""
+        rx = self.stream()
+        messages = rx.push(np.asarray(samples, dtype=np.float64))
+        return messages + rx.finish()
+
+    # -- scalar golden reference ------------------------------------------
+
+    def receive_ref(self, samples: np.ndarray) -> list[bytes]:
+        """Original scalar decoder (golden reference).
+
+        Re-runs the discriminator from each peak to the end of the
+        capture and walks timing offsets and sync shifts in Python —
+        kept verbatim so the batch path stays pinned against it.
+        """
         samples = np.asarray(samples, dtype=np.float64)
-        cfg = self.config
-        sps = cfg.samples_per_symbol
-        peaks = matched_filter_peak(samples, self._preamble, threshold=0.4)
+        peaks = matched_filter_peak(
+            samples, self._preamble, threshold=self.SYNC_THRESHOLD
+        )
         messages: list[bytes] = []
         for start, _score in peaks:
-            begin = start + self._preamble.size
-            if begin + 8 * sps >= samples.size:
-                continue
-            freq = self._instantaneous_freq(samples[begin:])
-            # Group-delay of the pulse shaping centres decisions
-            # mid-symbol; sweep sub-symbol offsets for the best timing.
-            delay = (self._pulse.size - 1) // 2
-            for k in range(4):
-                bits = self._decode_bits(freq, delay + k * sps // 4, sps)
-                message = self._frame_from_bits(bits)
-                if message is not None:
-                    messages.append(message)
-                    break
+            payload = self._decode_peak_ref(samples, start)
+            if payload is not None:
+                messages.append(payload)
         return messages
+
+    def _decode_peak_ref(self, samples: np.ndarray, start: int) -> bytes | None:
+        """Scalar decode of the message at one sync peak (seed logic)."""
+        sps = self.config.samples_per_symbol
+        begin = start + self._preamble.size
+        if begin + 8 * sps >= samples.size:
+            return None
+        freq = self._instantaneous_freq(samples[begin:])
+        # Group-delay of the pulse shaping centres decisions
+        # mid-symbol; sweep sub-symbol offsets for the best timing.
+        delay = (self._pulse.size - 1) // 2
+        for k in range(4):
+            bits = self._decode_bits(freq, delay + k * sps // 4, sps)
+            message = self._frame_from_bits(bits)
+            if message is not None:
+                return message
+        return None
 
     def _decode_bits(self, freq: np.ndarray, delay: int, sps: int) -> np.ndarray:
         max_bits = (freq.size - delay) // sps
@@ -173,7 +320,7 @@ class GmskModem:
             return None
         # Bit-level sync search: chirp timing can be off by a few bits.
         sync_bits = bytes_to_bits(self._SYNC_WORD.to_bytes(2, "big"))
-        limit = min(bits.size - 16, 40)
+        limit = min(bits.size - 16, self._SHIFT_LIMIT)
         for shift in range(limit + 1):
             if not np.array_equal(bits[shift : shift + 16], sync_bits):
                 continue

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.report.svg import SvgCanvas
 
-__all__ = ["line_chart", "cdf_chart", "box_plot"]
+__all__ = ["line_chart", "cdf_chart", "box_plot", "scatter_chart"]
 
 _PALETTE = ["#1565c0", "#e65100", "#2e7d32", "#8e24aa", "#c62828", "#00838f"]
 _MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 20, 36, 52
@@ -135,6 +135,40 @@ def cdf_chart(
         points = [(axes.px(v), axes.py(f)) for v, f in zip(ordered, fractions)]
         canvas.polyline(points, stroke=_PALETTE[i % len(_PALETTE)])
     _legend(canvas, list(samples))
+    canvas.save(path)
+
+
+def scatter_chart(
+    points: dict[str, tuple[float, float]],
+    path: str | Path,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    size: tuple[int, int] = (640, 360),
+) -> None:
+    """Labelled scatter; ``points`` maps label -> one (x, y) point.
+
+    Each label gets a palette colour, a dot and an annotation next to it
+    (the tournament's rate-vs-robustness frontier has one point per
+    modem profile, so labels-by-point beats a legend here).
+    """
+    if not points:
+        raise ValueError("need at least one point")
+    xs = np.array([p[0] for p in points.values()], dtype=float)
+    ys = np.array([p[1] for p in points.values()], dtype=float)
+    x_pad = (float(xs.max() - xs.min()) or 1.0) * 0.12
+    canvas = SvgCanvas(*size)
+    axes = _Axes(
+        canvas,
+        (float(xs.min()) - x_pad, float(xs.max()) + x_pad),
+        (min(0.0, float(ys.min())), float(ys.max()) * 1.12),
+        title, x_label, y_label,
+    )
+    for i, (label, (x, y)) in enumerate(points.items()):
+        color = _PALETTE[i % len(_PALETTE)]
+        cx, cy = axes.px(x), axes.py(y)
+        canvas.circle(cx, cy, 5, fill=color)
+        canvas.text(min(cx + 8, axes.px1 - 40), cy - 6, label, size=10)
     canvas.save(path)
 
 

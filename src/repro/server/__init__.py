@@ -23,7 +23,11 @@ from repro.server.frontend import (
     SizeModelResolver,
 )
 from repro.server.ledger import LedgerStats, RequestLedger
-from repro.server.scheduler import PopularityScheduler, SchedulerConfig
+from repro.server.scheduler import (
+    AdaptiveProfileSelector,
+    PopularityScheduler,
+    SchedulerConfig,
+)
 from repro.server.server import SonicServer, ServerConfig
 
 __all__ = [
@@ -42,6 +46,7 @@ __all__ = [
     "payload_digest",
     "Transmitter",
     "TransmitterRegistry",
+    "AdaptiveProfileSelector",
     "PopularityScheduler",
     "SchedulerConfig",
     "SonicServer",

@@ -1,4 +1,4 @@
-"""Preemptive popularity pushes.
+"""Preemptive popularity pushes and adaptive profile selection.
 
 "[the server] maintains a list of the most popular websites in a region
 that are preemptively pushed to users in an attempt to improve their
@@ -6,15 +6,24 @@ experience.  For example, popular news sites can be pushed early in the
 morning." (Section 3.1).  The scheduler decides, each hour, which corpus
 pages to re-render and queue — popular pages first, news boosted in the
 morning push window.
+
+:class:`AdaptiveProfileSelector` closes the loop the paper leaves open:
+given each modem profile's net payload rate and fitted frame-loss curve
+(seeded from the tournament, refined by receiver ``RPT`` feedback over
+the SMS uplink), pick the fastest profile whose predicted loss at the
+reported SNR stays under threshold — and fall back down the rate ladder
+as the channel degrades.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.radio.lossmodel import FrameLossModel, fit_logistic_fer
+from repro.sms.protocol import LinkReport
 from repro.web.sites import SiteGenerator
 
-__all__ = ["SchedulerConfig", "PopularityScheduler"]
+__all__ = ["SchedulerConfig", "PopularityScheduler", "AdaptiveProfileSelector"]
 
 
 @dataclass(frozen=True)
@@ -74,3 +83,107 @@ class PopularityScheduler:
             key=lambda pair: -pair[1],
         )
         return ranked[: self.config.max_pages_per_hour]
+
+
+@dataclass
+class _ProfileState:
+    """One profile's rate, loss curve, and accumulated feedback."""
+
+    net_bps: float
+    model: FrameLossModel
+    samples: list[tuple[float, int, int]] = field(default_factory=list)
+
+
+class AdaptiveProfileSelector:
+    """Fastest-profile-that-survives selection over fitted loss curves.
+
+    Seeded with per-profile ``(net_bps, FrameLossModel)`` pairs — most
+    naturally from a :class:`repro.sim.tournament.TournamentResult` via
+    :meth:`from_tournament` — and updated online from receivers' ``RPT``
+    link reports: once a profile has enough feedback samples its curve
+    is refitted to the measured outcomes, so advice tracks the deployed
+    channel rather than the bench sweep.
+    """
+
+    #: Feedback samples before a profile's curve is refitted.
+    MIN_FIT_SAMPLES = 3
+
+    def __init__(
+        self,
+        profiles: dict[str, tuple[float, FrameLossModel]],
+        loss_threshold: float = 0.1,
+    ) -> None:
+        if not profiles:
+            raise ValueError("selector needs at least one profile")
+        self.loss_threshold = loss_threshold
+        self._states = {
+            name: _ProfileState(net_bps=rate, model=model)
+            for name, (rate, model) in profiles.items()
+        }
+
+    @classmethod
+    def from_tournament(
+        cls, result, loss_threshold: float | None = None
+    ) -> "AdaptiveProfileSelector":
+        """Seed the ladder from a finished profile tournament."""
+        models = result.loss_models()
+        profiles = {
+            name: (result.net_rates[name], models[name])
+            for name in result.config.profiles
+        }
+        return cls(
+            profiles,
+            loss_threshold=(
+                result.config.loss_threshold
+                if loss_threshold is None
+                else loss_threshold
+            ),
+        )
+
+    @property
+    def profiles(self) -> list[str]:
+        """Profile names, fastest first (the rate ladder)."""
+        return sorted(self._states, key=lambda n: -self._states[n].net_bps)
+
+    def predicted_loss(self, profile: str, snr_db: float) -> float:
+        return self._states[profile].model.frame_error_probability(snr_db)
+
+    def select(self, snr_db: float) -> str:
+        """The fastest profile predicted to survive ``snr_db``.
+
+        If no profile meets the loss threshold, returns the one with the
+        lowest predicted loss — some advice beats silence.  Loss ties
+        (e.g. everything saturated at 1.0 on a hopeless channel) break
+        toward the slowest profile, the robust end of the ladder.
+        """
+        for name in self.profiles:
+            if self.predicted_loss(name, snr_db) <= self.loss_threshold:
+                return name
+        return min(
+            self.profiles,
+            key=lambda n: (self.predicted_loss(n, snr_db), self._states[n].net_bps),
+        )
+
+    def observe(self, report: LinkReport) -> bool:
+        """Fold one receiver report in; ``True`` if the curve refitted.
+
+        Reports for unknown profiles are ignored (a client may be ahead
+        of or behind the server's registry) — the caller still gets
+        advice from :meth:`select`.
+        """
+        state = self._states.get(report.profile)
+        if state is None:
+            return False
+        state.samples.append((report.snr_db, report.n_frames, report.n_lost))
+        if len(state.samples) < self.MIN_FIT_SAMPLES:
+            return False
+        distinct_snrs = {s[0] for s in state.samples}
+        if len(distinct_snrs) < 2:
+            return False  # a one-point curve is not a curve
+        mid, scale = fit_logistic_fer(
+            [s[0] for s in state.samples],
+            [s[1] for s in state.samples],
+            [s[2] for s in state.samples],
+        )
+        state.model = FrameLossModel(fer_midpoint_db=mid, fer_scale_db=scale)
+        return True

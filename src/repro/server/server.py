@@ -12,7 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.server.cache import BundleStore, PageCache, bundle_key
-from repro.server.scheduler import PopularityScheduler, SchedulerConfig
+from repro.server.scheduler import (
+    AdaptiveProfileSelector,
+    PopularityScheduler,
+    SchedulerConfig,
+)
 from repro.server.transmitters import (
     Transmitter,
     TransmitterRegistry,
@@ -22,7 +26,9 @@ from repro.sim.geometry import Location
 from repro.sms.gateway import SmsGateway
 from repro.sms.message import SmsMessage
 from repro.sms.protocol import (
+    LinkReport,
     PageRequest,
+    ProfileAdvice,
     RequestAck,
     RequestError,
     SearchRequest,
@@ -61,6 +67,8 @@ class ServerStats:
     rejected: int = 0
     pushes: int = 0
     searches: int = 0
+    link_reports: int = 0
+    profile_switches: int = 0
 
 
 class SonicServer:
@@ -74,6 +82,7 @@ class SonicServer:
         config: ServerConfig = ServerConfig(),
         scheduler_config: SchedulerConfig = SchedulerConfig(),
         bundle_store: BundleStore | None = None,
+        profile_selector: AdaptiveProfileSelector | None = None,
     ) -> None:
         self.generator = generator
         self.transmitters = transmitters
@@ -89,6 +98,8 @@ class SonicServer:
         self._page_ids: dict[str, int] = {}
         self._encoded: dict[tuple[str, int], bytes] = {}
         self._catalog_pipeline = None  # lazy; shared across push_catalog calls
+        self.profile_selector = profile_selector
+        self._advised_profile: str | None = None
         self.stats = ServerStats()
         gateway.register(config.sms_number, self._on_sms)
 
@@ -212,8 +223,33 @@ class SonicServer:
             return
         if isinstance(request, PageRequest):
             self.handle_page_request(request, message.sender, now)
+        elif isinstance(request, LinkReport):
+            self.handle_link_report(request, message.sender, now)
         else:
             self.handle_search(request, message.sender, now)
+
+    def handle_link_report(
+        self, report: LinkReport, sender: str, now: float
+    ) -> None:
+        """RPT: fold receiver feedback in, advise the best burst profile.
+
+        The selector refits the reported profile's loss curve from the
+        accumulated samples and the reply names the fastest profile
+        predicted to survive the reported SNR — so as a client's channel
+        degrades, successive replies walk down the rate ladder.
+        """
+        self.stats.link_reports += 1
+        if self.profile_selector is None:
+            self._reply(
+                sender, RequestError(report.profile, "no-adaptation").to_text(), now
+            )
+            return
+        self.profile_selector.observe(report)
+        choice = self.profile_selector.select(report.snr_db)
+        if choice != self._advised_profile:
+            self.stats.profile_switches += 1
+            self._advised_profile = choice
+        self._reply(sender, ProfileAdvice(choice).to_text(), now)
 
     def handle_page_request(
         self, request: PageRequest, sender: str, now: float

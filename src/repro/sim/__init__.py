@@ -12,6 +12,14 @@ from repro.sim.receivers import (
     calibrate_loss_model,
     run_fleet,
 )
+from repro.sim.tournament import (
+    CellResult,
+    SweepStore,
+    TournamentConfig,
+    TournamentResult,
+    run_tournament,
+    write_frontier_report,
+)
 
 __all__ = [
     "SimClock",
@@ -30,7 +38,13 @@ __all__ = [
     "ReceiverReport",
     "PopulationConfig",
     "PopulationResult",
+    "CellResult",
+    "SweepStore",
+    "TournamentConfig",
+    "TournamentResult",
     "calibrate_loss_model",
     "run_fleet",
     "run_population",
+    "run_tournament",
+    "write_frontier_report",
 ]

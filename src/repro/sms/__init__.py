@@ -11,7 +11,9 @@ from repro.sms.gsm7 import gsm7_encode, gsm7_decode, is_gsm7_compatible
 from repro.sms.message import SmsMessage, segment_text, SEGMENT_LIMIT
 from repro.sms.gateway import SmsGateway, GatewayConfig
 from repro.sms.protocol import (
+    LinkReport,
     PageRequest,
+    ProfileAdvice,
     RequestAck,
     RequestError,
     SearchRequest,
@@ -28,7 +30,9 @@ __all__ = [
     "SEGMENT_LIMIT",
     "SmsGateway",
     "GatewayConfig",
+    "LinkReport",
     "PageRequest",
+    "ProfileAdvice",
     "RequestAck",
     "RequestError",
     "SearchRequest",

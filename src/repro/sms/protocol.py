@@ -5,11 +5,17 @@ Uplink (client -> server), one segment each:
 * ``GET <url> LOC <lat>,<lon>`` — request a page.  The location lets the
   server pick the FM transmitter that covers the user (Section 3.1).
 * ``FIND <query> LOC <lat>,<lon>`` — a search-engine query.
+* ``RPT <profile> SNR <db> LOSS <lost>/<frames>`` — receiver feedback:
+  decode outcome of the last burst under the named modem profile, at the
+  audio SNR the client estimated.  Feeds the server's adaptive profile
+  selection (the SMS uplink is SONIC's only return channel).
 
 Downlink (server -> client):
 
 * ``ACK <url> ETA <seconds>`` — request accepted, delivery estimate.
 * ``ERR <url> <reason>`` — request rejected.
+* ``USE <profile>`` — profile advice: decode the next bursts with this
+  modem profile (the server switched because of link feedback).
 """
 
 from __future__ import annotations
@@ -19,8 +25,10 @@ from dataclasses import dataclass
 __all__ = [
     "PageRequest",
     "SearchRequest",
+    "LinkReport",
     "RequestAck",
     "RequestError",
+    "ProfileAdvice",
     "parse_uplink",
     "parse_downlink",
 ]
@@ -51,6 +59,26 @@ class SearchRequest:
 
 
 @dataclass(frozen=True)
+class LinkReport:
+    """RPT: one receiver's decode outcome under a profile at an SNR."""
+
+    profile: str
+    snr_db: float
+    n_lost: int
+    n_frames: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.n_lost <= self.n_frames or self.n_frames <= 0:
+            raise ValueError("need 0 <= n_lost <= n_frames, n_frames > 0")
+
+    def to_text(self) -> str:
+        return (
+            f"RPT {self.profile} SNR {self.snr_db:.1f} "
+            f"LOSS {self.n_lost}/{self.n_frames}"
+        )
+
+
+@dataclass(frozen=True)
 class RequestAck:
     """ACK: the server's promise, with an airtime estimate."""
 
@@ -72,6 +100,16 @@ class RequestError:
         return f"ERR {self.url} {self.reason}"
 
 
+@dataclass(frozen=True)
+class ProfileAdvice:
+    """USE: the server's pick for the client's next bursts."""
+
+    profile: str
+
+    def to_text(self) -> str:
+        return f"USE {self.profile}"
+
+
 def _parse_loc(parts: list[str]) -> tuple[float, float]:
     if len(parts) != 2 or parts[0] != "LOC":
         raise ValueError("missing LOC clause")
@@ -79,9 +117,24 @@ def _parse_loc(parts: list[str]) -> tuple[float, float]:
     return float(lat_s), float(lon_s)
 
 
-def parse_uplink(text: str) -> PageRequest | SearchRequest:
+def parse_uplink(text: str) -> PageRequest | SearchRequest | LinkReport:
     """Parse a client-originated message; raises ``ValueError`` if malformed."""
     tokens = text.strip().split(" ")
+    if (
+        len(tokens) == 6
+        and tokens[0] == "RPT"
+        and tokens[2] == "SNR"
+        and tokens[4] == "LOSS"
+    ):
+        lost_s, sep, frames_s = tokens[5].partition("/")
+        if not sep:
+            raise ValueError(f"malformed LOSS clause: {text!r}")
+        return LinkReport(
+            profile=tokens[1],
+            snr_db=float(tokens[3]),
+            n_lost=int(lost_s),
+            n_frames=int(frames_s),
+        )
     if len(tokens) >= 4 and tokens[0] == "GET":
         lat, lon = _parse_loc(tokens[-2:])
         url = " ".join(tokens[1:-2])
@@ -97,11 +150,13 @@ def parse_uplink(text: str) -> PageRequest | SearchRequest:
     raise ValueError(f"unrecognised uplink message: {text!r}")
 
 
-def parse_downlink(text: str) -> RequestAck | RequestError:
+def parse_downlink(text: str) -> RequestAck | RequestError | ProfileAdvice:
     """Parse a server-originated message."""
     tokens = text.strip().split(" ")
     if len(tokens) == 4 and tokens[0] == "ACK" and tokens[2] == "ETA":
         return RequestAck(tokens[1], float(tokens[3]))
+    if len(tokens) == 2 and tokens[0] == "USE":
+        return ProfileAdvice(tokens[1])
     if len(tokens) >= 3 and tokens[0] == "ERR":
         return RequestError(tokens[1], " ".join(tokens[2:]))
     raise ValueError(f"unrecognised downlink message: {text!r}")

@@ -11,6 +11,7 @@ preambles deliberately straddle boundaries.
 import numpy as np
 import pytest
 
+from repro.modem import AudioQrModem, FskModem, GmskModem
 from repro.modem.modem import Modem, ReceivedFrame
 from repro.modem.streaming import StreamingReceiver
 
@@ -125,3 +126,103 @@ class TestRandomChunkSizes:
         assert rx.finish() == []
         with pytest.raises(RuntimeError):
             rx.push(wave[:100])
+
+
+# -- message-framed modem family (FSK / GMSK / AudioQR) ---------------------
+
+FAMILY = {
+    "fsk": (FskModem, [40, 18, 3]),
+    "gmsk": (GmskModem, [80, 24, 200]),
+    "audioqr": (AudioQrModem, [12, 30]),
+}
+
+
+def _family_capture(name):
+    modem_cls, sizes = FAMILY[name]
+    modem = modem_cls()
+    rng = np.random.default_rng(hash(name) % 2**32)
+    payloads = [bytes(rng.integers(0, 256, n, dtype=np.uint8)) for n in sizes]
+    parts = [np.zeros(1700)]
+    for p in payloads:
+        parts.append(modem.transmit(p))
+        parts.append(np.zeros(1300))
+    wave = np.concatenate(parts)
+    wave = wave + 0.01 * rng.standard_normal(wave.size)
+    return modem, wave, payloads
+
+
+def _family_stream(modem, wave, chunk_sizes):
+    rx = modem.stream()
+    out = []
+    i = 0
+    k = 0
+    while i < wave.size:
+        step = int(chunk_sizes[k % len(chunk_sizes)])
+        k += 1
+        out += rx.push(wave[i : i + step])
+        i += step
+    return out + rx.finish()
+
+
+@pytest.mark.parametrize("name", list(FAMILY))
+class TestFamilyChunkInvariance:
+    def test_twenty_random_chunkings(self, name):
+        """>= 20 randomized chunk sizes, 1 sample .. whole capture."""
+        modem, wave, payloads = _family_capture(name)
+        batch = modem.receive(wave)
+        assert batch == payloads
+        rng = np.random.default_rng(77)
+        sizes = np.unique(
+            np.concatenate([
+                [1, 251, wave.size],  # extremes always included
+                rng.integers(2, wave.size, 18),
+            ])
+        )
+        assert sizes.size >= 20
+        for size in sizes:
+            assert _family_stream(modem, wave, [size]) == batch, (name, size)
+
+    def test_mixed_chunk_sizes_within_one_run(self, name):
+        modem, wave, _ = _family_capture(name)
+        batch = modem.receive(wave)
+        rng = np.random.default_rng(78)
+        for _ in range(3):
+            sizes = rng.integers(1, 30_000, 64)
+            assert _family_stream(modem, wave, sizes) == batch
+
+    def test_boundary_straddles_marker(self, name):
+        """Chunk edges placed inside the sync marker itself."""
+        modem, wave, _ = _family_capture(name)
+        batch = modem.receive(wave)
+        marker = modem.sync.template.size
+        for split in (1700 + 3, 1700 + marker // 2, 1700 + marker - 1):
+            rx = modem.stream()
+            out = rx.push(wave[:split])
+            for i in range(split, wave.size, 4096):
+                out += rx.push(wave[i : i + 4096])
+            out += rx.finish()
+            assert out == batch
+
+    def test_zero_size_pushes_and_finish_semantics(self, name):
+        modem, wave, _ = _family_capture(name)
+        batch = modem.receive(wave)
+        rx = modem.stream()
+        out = rx.push(np.zeros(0))
+        for i in range(0, wave.size, 7777):
+            out += rx.push(wave[i : i + 7777])
+            out += rx.push(np.zeros(0))
+        out += rx.finish()
+        assert out == batch
+        assert rx.finish() == []
+        with pytest.raises(RuntimeError):
+            rx.push(wave[:10])
+
+    def test_buffer_is_trimmed(self, name):
+        """The streaming buffer must not grow with the whole capture."""
+        modem, wave, _ = _family_capture(name)
+        rx = modem.stream()
+        for i in range(0, wave.size, 4000):
+            rx.push(wave[i : i + 4000])
+        rx.finish()
+        assert rx.messages_decoded == len(FAMILY[name][1])
+        assert rx.max_buffer_samples < wave.size
