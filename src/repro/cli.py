@@ -1170,6 +1170,66 @@ def _bench_smoke(repo_root: Path) -> int:
             file=sys.stderr,
         )
         return 1
+
+    # --- network gate: multi-station day, serial == sharded digests ---
+    from repro.server.network import NetworkConfig, run_network
+
+    if "network" not in baseline:
+        print(
+            "error: BENCH_pipeline.json has no network section — "
+            "run `python -m repro bench -k network` once to establish "
+            "the baseline",
+            file=sys.stderr,
+        )
+        return 1
+    net_config = NetworkConfig(n_stations=3, hours=6, tick_s=120.0, seed=42)
+    t0 = time.perf_counter()
+    net_serial = run_network(net_config)
+    t_net = time.perf_counter() - t0
+    net_sharded = run_network(net_config, sharded=True)
+    net_base = baseline["network"]
+    station_hours_per_s = net_config.n_stations * net_config.hours / t_net
+    min_goodput = min(s.goodput_bps for s in net_serial.stations)
+    print(
+        f"network:         {net_config.n_stations} stations x "
+        f"{net_config.hours}h in {t_net:.2f}s "
+        f"({station_hours_per_s:.0f} station-hours/s, baseline "
+        f"{net_base['station_hours_per_s']:.0f}), "
+        f"min goodput {min_goodput / 1e3:.1f} kbps"
+    )
+    if net_serial.network_digest() != net_sharded.network_digest():
+        print(
+            "error: sharded network run diverged from the serial reference "
+            "(ledger/schedule digests differ)",
+            file=sys.stderr,
+        )
+        return 1
+    print("network ledgers: serial == sharded (digest match)")
+    # Honest floor: the smoke day's demand keeps every carousel busy, so
+    # each station must sustain at least half the slowest profile's rate.
+    if min_goodput < net_base["goodput_floor_bps"]:
+        print(
+            f"error: station goodput below the "
+            f"{net_base['goodput_floor_bps']:.0f} bps floor "
+            f"({min_goodput:.0f} bps)",
+            file=sys.stderr,
+        )
+        return 1
+    if station_hours_per_s < 0.7 * net_base["station_hours_per_s"]:
+        print(
+            f"error: network simulation regressed >30% "
+            f"({station_hours_per_s:.0f} vs baseline "
+            f"{net_base['station_hours_per_s']:.0f} station-hours/s)",
+            file=sys.stderr,
+        )
+        return 1
+    # Per-station reports land next to the other bench artifacts so CI
+    # uploads them (backlog/goodput per station, digests included).
+    (ledger_dir / "network_stations.json").write_text(
+        json.dumps(net_serial.to_json_dict(), indent=2) + "\n"
+    )
+    print(f"station reports: {ledger_dir / 'network_stations.json'}")
+
     print("perf smoke ok")
     return 0
 
@@ -1198,6 +1258,80 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if code == 0 and out.exists():
         print(f"\nresults -> {out}")
     return code
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    """Simulate a multi-region broadcast day on the sharded network."""
+    import json
+    import time
+
+    from repro.server.network import NetworkConfig, network_coverage, run_network
+
+    config = NetworkConfig(
+        n_stations=args.stations,
+        hours=args.hours,
+        n_pages=args.pages,
+        seed=args.seed,
+        tick_s=args.tick_s,
+        pages_per_station=args.pages_per_station,
+        request_rate_per_s=args.rate,
+    )
+    t0 = time.perf_counter()
+    result = run_network(config, sharded=args.sharded, processes=args.processes)
+    elapsed = time.perf_counter() - t0
+    mode = "sharded" if args.sharded else "serial"
+    print(
+        f"{config.n_stations} stations x {config.hours}h "
+        f"({config.n_pages}-page corpus) in {elapsed:.2f}s, {mode}"
+    )
+    print(
+        f"{'station':<12} {'requests':>9} {'broadcast':>9} {'shed':>6} "
+        f"{'goodput':>9} {'peak blog':>10} {'p50':>7} {'p99':>8} "
+        f"{'sw':>3} {'profile':>8}"
+    )
+    for s in result.stations:
+        print(
+            f"{s.station_id:<12} {s.n_requests:>9,} {s.n_broadcast:>9,} "
+            f"{s.n_shed:>6,} {s.goodput_bps / 1e3:>7.1f}kb {s.peak_backlog_mb:>8.2f}MB "
+            f"{s.latency_p50_s:>6.0f}s {s.latency_p99_s:>7.0f}s "
+            f"{s.profile_switches:>3} {s.final_profile:>8}"
+        )
+    lookups = result.store_hits + result.store_misses
+    hit_pct = 100.0 * result.store_hits / lookups if lookups else 0.0
+    print(
+        f"shared store: {result.store_hits}/{lookups} hits ({hit_pct:.0f}%) — "
+        f"pages encoded once, broadcast by every demanding station"
+    )
+    print(f"network digest: {result.network_digest()}")
+
+    if args.verify:
+        other = run_network(config, sharded=not args.sharded)
+        if other.network_digest() != result.network_digest():
+            print(
+                "error: serial and sharded runs diverged (digest mismatch)",
+                file=sys.stderr,
+            )
+            return 1
+        print("determinism: serial == sharded (digest match)")
+    if args.coverage:
+        print(f"\nper-station coverage ({args.coverage:,} Tier-2 listeners):")
+        for cov in network_coverage(config, args.coverage, result=result):
+            print(
+                f"  {cov.station:<12} {cov.n_receivers:>7,} listeners  "
+                f"loss {100 * cov.mean_loss_rate:5.1f}%  "
+                f"readability {cov.mean_readability:4.1f}/10  "
+                f"pages {100 * cov.mean_pages_fraction:5.1f}%"
+            )
+    if args.json:
+        payload = result.to_json_dict()
+        if args.coverage:
+            payload["coverage"] = [
+                cov.to_json_dict()
+                for cov in network_coverage(config, args.coverage, result=result)
+            ]
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nreports -> {args.json}")
+    return 0
 
 
 def _cmd_tournament(args: argparse.Namespace) -> int:
@@ -1381,6 +1515,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--calibration-dir", default=None,
                    help="directory for persisted loss-curve calibrations")
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "network",
+        help="simulate a sharded multi-region broadcast day "
+             "(demand-driven page scheduling)",
+    )
+    p.add_argument("--stations", type=int, default=4,
+                   help="regional stations (defaults cover Pakistani metros)")
+    p.add_argument("--hours", type=int, default=24,
+                   help="simulated broadcast hours (one scheduler epoch each)")
+    p.add_argument("--pages", type=int, default=100,
+                   help="corpus pages shared by all stations (multiple of 4)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--tick-s", type=float, default=60.0,
+                   help="simulation step; must divide the 3600 s epoch")
+    p.add_argument("--pages-per-station", type=int, default=24,
+                   help="per-epoch airtime budget of each station")
+    p.add_argument("--rate", type=float, default=None,
+                   help="override every region's SMS request rate (req/s)")
+    p.add_argument("--sharded", action="store_true",
+                   help="step each epoch's stations concurrently")
+    p.add_argument("--processes", type=int, default=None,
+                   help="worker processes for --sharded")
+    p.add_argument("--verify", action="store_true",
+                   help="re-run in the other mode and compare digests")
+    p.add_argument("--coverage", type=int, default=0, metavar="N",
+                   help="also report per-station Tier-2 coverage for N listeners")
+    p.add_argument("--json", default=None,
+                   help="write per-station reports to this JSON file")
+    p.set_defaults(func=_cmd_network)
 
     p = sub.add_parser(
         "stream",

@@ -23,10 +23,22 @@ from repro.server.frontend import (
     SizeModelResolver,
 )
 from repro.server.ledger import LedgerStats, RequestLedger
+from repro.server.network import (
+    BroadcastNetwork,
+    NetworkConfig,
+    NetworkResult,
+    RegionSpec,
+    Station,
+    StationReport,
+    run_network,
+)
 from repro.server.scheduler import (
     AdaptiveProfileSelector,
+    DemandConfig,
+    DemandScheduler,
     PopularityScheduler,
     SchedulerConfig,
+    schedule_digest,
 )
 from repro.server.server import SonicServer, ServerConfig
 
@@ -47,8 +59,18 @@ __all__ = [
     "Transmitter",
     "TransmitterRegistry",
     "AdaptiveProfileSelector",
+    "DemandConfig",
+    "DemandScheduler",
     "PopularityScheduler",
     "SchedulerConfig",
+    "schedule_digest",
+    "BroadcastNetwork",
+    "NetworkConfig",
+    "NetworkResult",
+    "RegionSpec",
+    "Station",
+    "StationReport",
+    "run_network",
     "SonicServer",
     "ServerConfig",
 ]

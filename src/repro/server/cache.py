@@ -50,6 +50,17 @@ class BundleStoreStats:
     disk_hits: int = 0
     puts: int = 0
 
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup).
+
+        The share of encodes a shared store saved — e.g. across a
+        multi-station network, where the first station to need a page
+        encodes it and every other station's lookup lands here.
+        """
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
 
 class BundleStore:
     """LRU memory store of encoded bundles with optional disk persistence.

@@ -38,6 +38,8 @@ CREATE TABLE IF NOT EXISTS requests (
     broadcast_at REAL,
     status       TEXT NOT NULL
 );
+CREATE INDEX IF NOT EXISTS idx_requests_submitted
+    ON requests (submitted_at, url_index);
 """
 
 
@@ -189,6 +191,33 @@ class RequestLedger:
                 "SELECT status, COUNT(*) FROM requests GROUP BY status"
             ).fetchall()
         )
+
+    def demand_counts(
+        self, since: float | None = None, until: float | None = None
+    ) -> dict[int, int]:
+        """Per-URL request counts — the demand signal station scheduling eats.
+
+        Every request counts, whatever its fate: a shed request is still
+        demand (arguably the loudest kind).  ``since``/``until`` bound the
+        window by submission time (half-open, ``since <= t < until``), so
+        an epoch scheduler can ask "what was requested this hour" as one
+        cheap indexed read; with no bounds it is the whole ledger.
+        """
+        self.flush()
+        clauses, params = [], []
+        if since is not None:
+            clauses.append("submitted_at >= ?")
+            params.append(float(since))
+        if until is not None:
+            clauses.append("submitted_at < ?")
+            params.append(float(until))
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._conn.execute(
+            "SELECT url_index, COUNT(*) FROM requests"
+            f"{where} GROUP BY url_index",
+            params,
+        ).fetchall()
+        return {int(u): int(n) for u, n in rows}
 
     def latencies(self) -> np.ndarray:
         """Request→broadcast latency (seconds) of every served request."""

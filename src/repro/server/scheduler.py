@@ -17,13 +17,24 @@ as the channel degrades.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.radio.lossmodel import FrameLossModel, fit_logistic_fer
 from repro.sms.protocol import LinkReport
+from repro.util.rng import counter_uniforms, derive_key
 from repro.web.sites import SiteGenerator
 
-__all__ = ["SchedulerConfig", "PopularityScheduler", "AdaptiveProfileSelector"]
+__all__ = [
+    "SchedulerConfig",
+    "PopularityScheduler",
+    "AdaptiveProfileSelector",
+    "DemandConfig",
+    "DemandScheduler",
+    "schedule_digest",
+]
 
 
 @dataclass(frozen=True)
@@ -187,3 +198,154 @@ class AdaptiveProfileSelector:
         )
         state.model = FrameLossModel(fer_midpoint_db=mid, fer_scale_db=scale)
         return True
+
+
+@dataclass(frozen=True)
+class DemandConfig:
+    """Demand-driven allocation knobs for the multi-station scheduler."""
+
+    #: Carry-over of last epoch's demand into this one (exponential decay).
+    decay: float = 0.5
+    #: Score weight of measured (EWMA) request demand.
+    demand_weight: float = 1.0
+    #: Score weight of the region-local Tranco rank prior.
+    prior_weight: float = 0.25
+    #: Score weight of the aging counter (starvation-freeness guarantee).
+    aging_weight: float = 0.05
+    #: Pages each station may carry per epoch (airtime budget).
+    pages_per_station: int = 24
+    #: Seed keying the deterministic tie-break stream.
+    seed: int = 0
+    #: EWMA demand below this is snapped to zero.  Exponential decay
+    #: never reaches 0.0 in floats, so without the snap a single ancient
+    #: request would keep a page "live" (and aging) forever.
+    quiet_threshold: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.decay < 1.0:
+            raise ValueError("decay must be in [0, 1)")
+        if self.quiet_threshold < 0:
+            raise ValueError("quiet_threshold must be non-negative")
+        if self.pages_per_station < 1:
+            raise ValueError("pages_per_station must be positive")
+        if self.aging_weight < 0 or self.demand_weight < 0 or self.prior_weight < 0:
+            raise ValueError("score weights must be non-negative")
+
+
+class DemandScheduler:
+    """Allocates corpus pages to regional stations from measured demand.
+
+    Each station scores every page as::
+
+        score = demand_weight * ewma_demand
+              + prior_weight  * region_prior
+              + aging_weight  * age
+
+    ``ewma_demand`` folds the station ledger's per-URL request counts in
+    with exponential decay (:attr:`DemandConfig.decay`), so yesterday's
+    fashion fades; ``region_prior`` is the station's local popularity
+    prior (region-permuted Tranco weights); ``age`` counts consecutive
+    epochs a page had live demand yet no slot — it grows without bound
+    while demand and prior stay bounded, so every demanded page is
+    eventually allocated (starvation-freeness, property-tested).
+
+    Ties break by a seed-keyed counter-RNG draw — a pure function of
+    ``(seed, station, epoch, url)`` — then by URL index, so allocations
+    are bit-identical however stations are partitioned across workers.
+    """
+
+    def __init__(
+        self,
+        station_ids: list[str],
+        n_pages: int,
+        priors: dict[str, np.ndarray] | None = None,
+        config: DemandConfig = DemandConfig(),
+    ) -> None:
+        if not station_ids:
+            raise ValueError("scheduler needs at least one station")
+        if len(set(station_ids)) != len(station_ids):
+            raise ValueError("duplicate station ids")
+        if n_pages < 1:
+            raise ValueError("n_pages must be positive")
+        self.config = config
+        self.n_pages = n_pages
+        self.station_ids = list(station_ids)
+        # Default prior: the global Tranco weight law 1/(rank+1)^0.9.
+        flat = (1.0 / np.arange(1.0, n_pages + 1.0)) ** 0.9
+        flat /= flat.sum()
+        self._priors: dict[str, np.ndarray] = {}
+        for sid in self.station_ids:
+            prior = flat if priors is None else np.asarray(priors[sid], float)
+            if prior.shape != (n_pages,):
+                raise ValueError(f"prior for {sid} must have length {n_pages}")
+            self._priors[sid] = prior
+        self._demand = {sid: np.zeros(n_pages) for sid in self.station_ids}
+        self._age = {sid: np.zeros(n_pages) for sid in self.station_ids}
+        self._pending = {sid: np.zeros(n_pages) for sid in self.station_ids}
+
+    def observe(self, station_id: str, counts: dict[int, int]) -> None:
+        """Fold one epoch's ledger demand counts into a station's state.
+
+        Accumulates until the next :meth:`rebalance`; multiple observes
+        between rebalances sum (e.g. a ledger read split across ticks).
+        """
+        pending = self._pending[station_id]
+        for url_index, n in counts.items():
+            if not 0 <= url_index < self.n_pages:
+                raise ValueError(f"url index {url_index} out of range")
+            pending[url_index] += n
+
+    def demand(self, station_id: str) -> np.ndarray:
+        """The station's current EWMA demand vector (copy)."""
+        return self._demand[station_id].copy()
+
+    def rebalance(self, epoch: int) -> dict[str, list[tuple[int, float]]]:
+        """Per-station ``(url_index, score)`` allocations for ``epoch``.
+
+        Decays each station's demand EWMA, folds in counts observed
+        since the last rebalance, scores every page, and returns each
+        station's top :attr:`DemandConfig.pages_per_station` pages in
+        descending score order.  Pure function of the observe history —
+        no wall clock, no global RNG.
+        """
+        cfg = self.config
+        allocations: dict[str, list[tuple[int, float]]] = {}
+        indices = np.arange(self.n_pages, dtype=np.uint64)
+        for sid in self.station_ids:
+            demand = self._demand[sid]
+            demand *= cfg.decay
+            demand += self._pending[sid]
+            demand[demand < cfg.quiet_threshold] = 0.0
+            self._pending[sid] = np.zeros(self.n_pages)
+            score = (
+                cfg.demand_weight * demand
+                + cfg.prior_weight * self._priors[sid]
+                + cfg.aging_weight * self._age[sid]
+            )
+            tiebreak = counter_uniforms(
+                derive_key(cfg.seed, "sched-tiebreak", sid, str(epoch)), indices
+            )
+            order = np.lexsort((indices, tiebreak, -score))
+            chosen = order[: cfg.pages_per_station]
+            allocations[sid] = [(int(i), float(score[i])) for i in chosen]
+            # Aging: demanded-but-unallocated pages accrue priority;
+            # allocation (or demand going quiet) resets the counter.
+            age = self._age[sid]
+            age[demand > 0.0] += 1.0
+            age[demand <= 0.0] = 0.0
+            age[chosen] = 0.0
+        return allocations
+
+
+def schedule_digest(allocations: dict[str, list[tuple[int, float]]]) -> str:
+    """Content hash of one rebalance result, station order included.
+
+    Serial and sharded network runs must produce identical digests —
+    the schedule half of the determinism contract.
+    """
+    h = hashlib.sha256()
+    for sid, pages in allocations.items():
+        h.update(sid.encode())
+        for url_index, score in pages:
+            h.update(f"{url_index}:{score:.9e};".encode())
+    return h.hexdigest()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.server.cache import BundleStore, PageCache, bundle_key
+from repro.server.network import Station
 from repro.server.scheduler import (
     AdaptiveProfileSelector,
     PopularityScheduler,
@@ -20,7 +21,6 @@ from repro.server.scheduler import (
 from repro.server.transmitters import (
     Transmitter,
     TransmitterRegistry,
-    payload_digest,
 )
 from repro.sim.geometry import Location
 from repro.sms.gateway import SmsGateway
@@ -100,8 +100,34 @@ class SonicServer:
         self._catalog_pipeline = None  # lazy; shared across push_catalog calls
         self.profile_selector = profile_selector
         self._advised_profile: str | None = None
+        self._stations: dict[str, Station] = {}
         self.stats = ServerStats()
         gateway.register(config.sms_number, self._on_sms)
+
+    # -- stations ---------------------------------------------------------------
+
+    def station_for(self, tx: Transmitter) -> Station:
+        """The regional :class:`Station` owning ``tx`` (created lazily).
+
+        Stations share the server's profile selector; membership is
+        refreshed from the registry so transmitters added after the
+        first lookup still join their station.
+        """
+        assert tx.station is not None
+        members = self.transmitters.for_station(tx.station)
+        station = self._stations.get(tx.station)
+        if station is None:
+            station = Station(tx.station, members, selector=self.profile_selector)
+            self._stations[tx.station] = station
+        elif len(station.transmitters) != len(members):
+            station.transmitters = members
+        return station
+
+    def stations(self) -> dict[str, Station]:
+        """Every regional station in the registry, keyed by name."""
+        for sid in self.transmitters.station_ids():
+            self.station_for(self.transmitters.for_station(sid)[0])
+        return dict(self._stations)
 
     # -- identifiers ------------------------------------------------------------
 
@@ -184,27 +210,21 @@ class SonicServer:
     ) -> None:
         """Queue ``data`` on a transmitter's carousel.
 
-        Frame chunking goes through the transmitter's broadcast encode
-        cache: a repeat broadcast of byte-identical content (the hourly
-        carousel case, or two users requesting the same page) reuses the
-        previously chunked frames instead of re-encoding them.
+        Routed through the owning regional :class:`Station`: frame
+        chunking goes through the transmitter's broadcast encode cache,
+        so a repeat broadcast of byte-identical content (the hourly
+        carousel case, or two users requesting the same page) reuses
+        the previously chunked frames instead of re-encoding them.
         """
-        digest = payload_digest(data)
-        frames = (
-            tx.cache.frames(
-                data,
-                page_id=self.page_id(url),
-                version=version,
-                transport=self._transport,
-                digest=digest,
-            )
-            if with_frames
-            else None
-        )
-        tx.carousel.enqueue(
-            CarouselItem(
-                url, len(data), priority=priority, frames=frames, digest=digest
-            )
+        self.station_for(tx).enqueue(
+            tx,
+            url,
+            data,
+            priority=priority,
+            page_id=self.page_id(url),
+            transport=self._transport,
+            version=version,
+            with_frames=with_frames,
         )
 
     # -- SMS handling ------------------------------------------------------------
@@ -515,14 +535,18 @@ class SonicServer:
     # -- hourly push ------------------------------------------------------------
 
     def hourly_push(self, now: float) -> int:
-        """Render changed popular pages, queue on every transmitter."""
+        """Render changed popular pages, queue on every station's fleet."""
         hour = int(now // 3600)
         pushed = 0
+        stations = self.stations().values()
         for url, priority in self.scheduler.pages_to_push(hour):
             _bundle, data = self.bundle_for(url, now)
             version = self.generator.effective_epoch(url, hour)
-            for tx in self.transmitters.all():
-                self.enqueue_broadcast(tx, url, data, priority=priority, version=version)
+            for station in stations:
+                for tx in station.transmitters:
+                    self.enqueue_broadcast(
+                        tx, url, data, priority=priority, version=version
+                    )
             pushed += 1
         self.stats.pushes += pushed
         return pushed

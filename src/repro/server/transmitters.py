@@ -169,7 +169,14 @@ class BroadcastEncodeCache:
 
 @dataclass
 class Transmitter:
-    """One FM station participating in SONIC."""
+    """One FM transmitter participating in SONIC.
+
+    ``station_id`` doubles as the call sign; ``station`` names the
+    regional station the transmitter belongs to (a station may operate
+    several transmitters — a main mast plus boosters).  It defaults to
+    the call sign itself, so a standalone transmitter is its own
+    single-member station.
+    """
 
     station_id: str
     location: Location
@@ -177,6 +184,7 @@ class Transmitter:
     coverage_km: float
     rate_bps: float = 10_000.0
     cache_capacity: int = 64
+    station: str | None = None
     carousel: BroadcastCarousel = field(init=False)
     cache: BroadcastEncodeCache = field(init=False)
 
@@ -185,6 +193,8 @@ class Transmitter:
             raise ValueError(f"{self.frequency_mhz} MHz outside the FM band")
         if self.coverage_km <= 0:
             raise ValueError("coverage radius must be positive")
+        if self.station is None:
+            self.station = self.station_id
         self.carousel = BroadcastCarousel(self.rate_bps)
         self.cache = BroadcastEncodeCache(self.cache_capacity)
 
@@ -213,17 +223,28 @@ class Transmitter:
 
 
 class TransmitterRegistry:
-    """Lookup of transmitters by id and by user location."""
+    """Lookup of transmitters by call sign, by station, and by location.
+
+    Both indexes are plain insertion-ordered dicts, so every iteration
+    surface (:meth:`all`, :meth:`station_ids`, :meth:`for_station`) is
+    deterministic: two registries built from the same ``add`` sequence
+    iterate identically, whatever process or hash seed runs them (a
+    property test pins this).  Station membership is indexed at ``add``
+    time, so routing *within* a station never scans the whole fleet.
+    """
 
     def __init__(self, transmitters: list[Transmitter] | None = None) -> None:
         self._by_id: dict[str, Transmitter] = {}
+        self._by_station: dict[str, list[Transmitter]] = {}
         for tx in transmitters or []:
             self.add(tx)
 
     def add(self, tx: Transmitter) -> None:
         if tx.station_id in self._by_id:
-            raise ValueError(f"duplicate station id {tx.station_id}")
+            raise ValueError(f"duplicate call sign {tx.station_id}")
         self._by_id[tx.station_id] = tx
+        assert tx.station is not None  # __post_init__ defaults it
+        self._by_station.setdefault(tx.station, []).append(tx)
 
     def __len__(self) -> int:
         return len(self._by_id)
@@ -234,9 +255,27 @@ class TransmitterRegistry:
     def all(self) -> list[Transmitter]:
         return list(self._by_id.values())
 
+    def station_ids(self) -> list[str]:
+        """Station names, in first-``add`` order."""
+        return list(self._by_station)
+
+    def for_station(self, station: str) -> list[Transmitter]:
+        """The station's transmitters (indexed — no fleet scan)."""
+        return list(self._by_station.get(station, []))
+
     def covering(self, where: Location) -> Transmitter | None:
         """The nearest transmitter that covers ``where``, if any."""
-        candidates = [tx for tx in self._by_id.values() if tx.covers(where)]
+        return self._nearest_covering(self._by_id.values(), where)
+
+    def covering_in_station(
+        self, station: str, where: Location
+    ) -> Transmitter | None:
+        """The station's nearest covering transmitter, if any."""
+        return self._nearest_covering(self._by_station.get(station, []), where)
+
+    @staticmethod
+    def _nearest_covering(transmitters, where: Location) -> Transmitter | None:
+        candidates = [tx for tx in transmitters if tx.covers(where)]
         if not candidates:
             return None
         return min(candidates, key=lambda tx: distance_km(tx.location, where))

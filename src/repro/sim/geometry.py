@@ -25,6 +25,7 @@ __all__ = [
     "distance_km",
     "haversine_km",
     "PopulationGeometry",
+    "RegionPartition",
 ]
 
 _EARTH_RADIUS_KM = 6_371.0
@@ -122,6 +123,16 @@ class PopulationGeometry:
         dlon = np.degrees(east_km / (_EARTH_RADIUS_KM * math.cos(lat0)))
         return self.center.lat + dlat, self.center.lon + dlon
 
+    def recentred(
+        self, center: Location, radius_km: float | None = None
+    ) -> "PopulationGeometry":
+        """The same disc shape around a different station's mast."""
+        return PopulationGeometry(
+            center=center,
+            radius_km=self.radius_km if radius_km is None else radius_km,
+            min_distance_m=self.min_distance_m,
+        )
+
     def sample_distances_m(self, key: int, indices: np.ndarray) -> np.ndarray:
         """Transmitter distance (metres) for receivers ``indices``.
 
@@ -132,3 +143,41 @@ class PopulationGeometry:
         lats, lons = self.sample_locations(key, indices)
         d_m = 1000.0 * haversine_km(self.center.lat, self.center.lon, lats, lons)
         return np.maximum(d_m, self.min_distance_m)
+
+
+@dataclass(frozen=True)
+class RegionPartition:
+    """Nearest-station partition of a geography.
+
+    Carves a listener population (or any set of coordinates) into the
+    catchment of the nearest station in a multi-transmitter fleet, so
+    Tier-2 population results can be reported per station.  Assignment
+    is a pure function of the coordinates — no RNG, no tie-break state:
+    exact equidistance resolves to the lower station index.
+    """
+
+    names: tuple[str, ...]
+    centers: tuple[Location, ...]
+
+    def __post_init__(self) -> None:
+        if not self.names or len(self.names) != len(self.centers):
+            raise ValueError("need one name per station center")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("duplicate station names")
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def assign(self, lats, lons) -> np.ndarray:
+        """Index of the nearest station for each (lat, lon) pair."""
+        lats = np.asarray(lats, dtype=np.float64)
+        lons = np.asarray(lons, dtype=np.float64)
+        d = np.stack(
+            [haversine_km(c.lat, c.lon, lats, lons) for c in self.centers]
+        )
+        return np.argmin(d, axis=0)
+
+    def nearest(self, where: Location) -> str:
+        """Name of the station whose mast is closest to ``where``."""
+        idx = int(self.assign(np.array([where.lat]), np.array([where.lon]))[0])
+        return self.names[idx]

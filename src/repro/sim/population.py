@@ -33,10 +33,16 @@ import numpy as np
 
 from repro.radio.lossmodel import FrameLossModel
 from repro.radio.propagation import PropagationModel
-from repro.sim.geometry import PopulationGeometry
+from repro.sim.geometry import PopulationGeometry, RegionPartition
 from repro.util.rng import counter_normals, counter_uniforms, derive_key
 
-__all__ = ["PopulationConfig", "PopulationResult", "run_population"]
+__all__ = [
+    "PopulationConfig",
+    "PopulationResult",
+    "run_population",
+    "StationCoverage",
+    "per_station_coverage",
+]
 
 #: Text-readability steepness of the synthetic user study (Figure 5):
 #: mean rating = 10 * exp(-k * damage).  The population tier equates
@@ -330,3 +336,61 @@ def run_population(
         pages_decoded=pages_decoded,
         readability=readability,
     )
+
+
+@dataclass(frozen=True)
+class StationCoverage:
+    """One station's slice of a region-partitioned population run."""
+
+    station: str
+    n_receivers: int
+    mean_loss_rate: float
+    mean_readability: float
+    mean_pages_fraction: float
+
+    def to_json_dict(self) -> dict:
+        return {
+            "station": self.station,
+            "n_receivers": self.n_receivers,
+            "mean_loss_rate": round(self.mean_loss_rate, 4),
+            "mean_readability": round(self.mean_readability, 2),
+            "mean_pages_fraction": round(self.mean_pages_fraction, 4),
+        }
+
+
+def per_station_coverage(
+    result: PopulationResult, partition: RegionPartition
+) -> list[StationCoverage]:
+    """Split a Tier-2 population run into per-station coverage reports.
+
+    Receiver positions are regenerated from the run's own counter keys
+    (they are a pure function of the seed, so nothing needs storing) and
+    each receiver is attributed to the nearest station in ``partition``.
+    Empty catchments report NaN means rather than vanishing, so a fleet
+    dashboard always shows every station.
+    """
+    plan = _make_plan(result.config)
+    idx = np.arange(result.n_receivers, dtype=np.uint64)
+    lats, lons = result.config.geometry.sample_locations(plan.key_position, idx)
+    which = partition.assign(lats, lons)
+    pages_fraction = result.pages_fraction
+    out = []
+    for i, name in enumerate(partition.names):
+        mask = which == i
+        n = int(mask.sum())
+        out.append(
+            StationCoverage(
+                station=name,
+                n_receivers=n,
+                mean_loss_rate=float(result.loss_rates[mask].mean())
+                if n
+                else float("nan"),
+                mean_readability=float(result.readability[mask].mean())
+                if n
+                else float("nan"),
+                mean_pages_fraction=float(pages_fraction[mask].mean())
+                if n
+                else float("nan"),
+            )
+        )
+    return out

@@ -12,7 +12,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.imaging.codec import CodecError, SWebpCodec
 from repro.transport.bundle import BundleTransport, PageBundle
-from repro.transport.framing import FRAME_SIZE, Frame
+from repro.transport.framing import FRAME_SIZE, PAYLOAD_SIZE, Frame
 from repro.web.clickmap import ClickMap, ClickRegion
 
 
@@ -57,7 +57,7 @@ class TestFrameFuzz:
     def test_random_frames_parse_or_valueerror(self, data):
         try:
             frame = Frame.from_bytes(data)
-            assert len(frame.payload) == FRAME_SIZE - 19
+            assert len(frame.payload) == PAYLOAD_SIZE
         except ValueError:
             pass
 

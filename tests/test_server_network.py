@@ -1,0 +1,319 @@
+"""Sharded multi-station broadcast network: determinism, adaptation, demand.
+
+The contract this file pins:
+
+* **Sharding is an execution detail** — serial, inline-reversed, and
+  process-pool runs of the same config produce bit-identical per-station
+  ledgers and schedule digests, for randomized station counts.
+* **Profile adaptation is regional** — a degrading region's station
+  walks down the rate ladder at carousel-cycle boundaries while a
+  healthy region never switches.
+* **Demand drives the schedule** — measured SMS request counts from each
+  region's ledger feed the next epoch's allocation.
+* **Registry iteration is deterministic** — two registries built from
+  the same ``add`` sequence iterate identically (property test).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.lossmodel import FrameLossModel
+from repro.server.network import (
+    DEFAULT_PROFILE_LADDER,
+    REQUEST_PRIORITY,
+    BroadcastNetwork,
+    NetworkConfig,
+    RegionSpec,
+    Station,
+    network_coverage,
+    network_partition,
+    run_network,
+)
+from repro.server.scheduler import AdaptiveProfileSelector
+from repro.server.transmitters import Transmitter, TransmitterRegistry
+from repro.sim.geometry import Location, RegionPartition
+from repro.sms.protocol import LinkReport
+
+_LAHORE = Location(31.5204, 74.3587)
+_KARACHI = Location(24.8607, 67.0011)
+
+#: Small-but-real run: 2 epochs, 6 ticks each, 40-page corpus.
+_FAST = dict(hours=2, n_pages=40, tick_s=600.0, pages_per_station=8)
+
+
+def _tx(call_sign="lhr-fm", station="lahore", where=_LAHORE, radius=30.0):
+    return Transmitter(
+        station_id=call_sign,
+        location=where,
+        frequency_mhz=93.0,
+        coverage_km=radius,
+        rate_bps=16_000.0,
+        station=station,
+    )
+
+
+def _selector():
+    return AdaptiveProfileSelector(
+        {
+            name: (rate, FrameLossModel(fer_midpoint_db=mid, fer_scale_db=scale))
+            for name, rate, mid, scale in DEFAULT_PROFILE_LADDER
+        }
+    )
+
+
+class TestStation:
+    def test_rejects_foreign_transmitter(self):
+        with pytest.raises(ValueError):
+            Station("karachi", [_tx(station="lahore")])
+
+    def test_covering_picks_nearest_own_mast(self):
+        near = _tx("lhr-1", where=_LAHORE)
+        far = _tx("lhr-2", where=Location(31.6, 74.5))
+        station = Station("lahore", [near, far])
+        assert station.covering(_LAHORE) is near
+        assert station.covering(_KARACHI) is None
+
+    def test_observe_report_counts_switches(self):
+        station = Station("lahore", [_tx()], selector=_selector())
+        assert station.observe_report(LinkReport("turbo", 16.0, 0, 256)) == "turbo"
+        assert station.profile_switches == 0  # first advice is not a switch
+        choice = station.observe_report(LinkReport("turbo", 2.0, 200, 256))
+        assert choice != "turbo"
+        assert station.profile_switches == 1
+
+    def test_demand_snapshot_empty_without_ledger(self):
+        station = Station("lahore", [_tx()])
+        assert station.demand_snapshot() == {}
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(n_stations=0)
+        with pytest.raises(ValueError):
+            NetworkConfig(n_pages=30)  # not a multiple of 4
+        with pytest.raises(ValueError):
+            NetworkConfig(tick_s=7.0)  # does not divide the epoch
+        with pytest.raises(ValueError):
+            NetworkConfig(tick_s=600.0, profile_deadline_s=300.0)
+
+    def test_resolved_regions_extend_past_defaults(self):
+        regions = NetworkConfig(n_stations=11, tick_s=600.0).resolved_regions()
+        assert len(regions) == 11
+        assert len({r.name for r in regions}) == 11
+
+    def test_rate_override_applies_everywhere(self):
+        regions = NetworkConfig(
+            n_stations=3, request_rate_per_s=0.5
+        ).resolved_regions()
+        assert all(r.rate_per_s == 0.5 for r in regions)
+
+
+class TestDeterminism:
+    def test_serial_vs_inline_sharded_bit_identical(self):
+        config = NetworkConfig(n_stations=3, seed=11, **_FAST)
+        serial = run_network(config)
+        sharded = run_network(config, sharded=True, processes=1)
+        assert serial.network_digest() == sharded.network_digest()
+        assert serial.schedule_digests == sharded.schedule_digests
+        for a, b in zip(serial.stations, sharded.stations):
+            assert a.ledger_digest == b.ledger_digest
+            assert a.profile_history == b.profile_history
+            assert np.array_equal(a.backlog_mb, b.backlog_mb)
+
+    def test_serial_vs_process_pool_bit_identical(self):
+        config = NetworkConfig(n_stations=2, seed=5, **_FAST)
+        serial = run_network(config)
+        pooled = run_network(config, sharded=True, processes=2)
+        assert serial.network_digest() == pooled.network_digest()
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        n_stations=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_randomized_station_counts_stay_deterministic(self, n_stations, seed):
+        config = NetworkConfig(
+            n_stations=n_stations, seed=seed, hours=1,
+            n_pages=20, tick_s=900.0, pages_per_station=5,
+        )
+        serial = run_network(config)
+        sharded = run_network(config, sharded=True, processes=1)
+        assert serial.network_digest() == sharded.network_digest()
+
+    def test_different_seeds_diverge(self):
+        a = run_network(NetworkConfig(n_stations=2, seed=1, **_FAST))
+        b = run_network(NetworkConfig(n_stations=2, seed=2, **_FAST))
+        assert a.network_digest() != b.network_digest()
+
+
+class TestRateLadder:
+    def test_degrading_region_walks_down_fresh_region_does_not(self):
+        # One healthy region, one whose SNR falls 1 dB per hour: by the
+        # end of the day the fading station has stepped down the ladder
+        # to the robust rung, the steady one never left turbo.
+        regions = (
+            RegionSpec("steady", _LAHORE, rate_per_s=0.02),
+            RegionSpec(
+                "fading", _KARACHI, rate_per_s=0.02,
+                snr_start_db=16.0, snr_drift_db_per_hour=-1.0,
+            ),
+        )
+        config = NetworkConfig(
+            n_stations=2, hours=24, tick_s=300.0, regions=regions,
+            seed=3, pages_per_station=8,
+        )
+        result = run_network(config)
+
+        steady = result.station("steady")
+        assert steady.profile_switches == 0
+        assert set(steady.profile_history) == {"turbo"}
+
+        fading = result.station("fading")
+        rates = dict((name, rate) for name, rate, _, _ in DEFAULT_PROFILE_LADDER)
+        history_bps = [rates[p] for p in fading.profile_history]
+        assert history_bps == sorted(history_bps, reverse=True)  # monotone walk
+        assert fading.profile_history[0] == "turbo"
+        assert fading.final_profile == "robust"
+        assert fading.profile_switches >= 2  # multiple rungs, not one cliff
+
+    def test_station_keyerror_for_unknown_region(self):
+        result = run_network(NetworkConfig(n_stations=1, seed=0, **_FAST))
+        with pytest.raises(KeyError):
+            result.station("atlantis")
+
+
+class TestDemandLoop:
+    def test_ledger_counts_feed_scheduler(self):
+        config = NetworkConfig(n_stations=2, seed=9, **_FAST)
+        network = BroadcastNetwork(config)
+        try:
+            result = network.run()
+            # Fold the final epoch's observed counts into the EWMA (the
+            # run leaves them pending for the *next* rebalance).
+            network.scheduler.rebalance(config.hours)
+            for report in result.stations:
+                ledger = network.ledgers[report.station_id]
+                counts = ledger.demand_counts()
+                # Every arrival is demand, whatever its fate.
+                assert sum(counts.values()) == report.n_requests
+                # ... and the scheduler saw it: its EWMA state for the
+                # station is live exactly where the ledger counted.
+                demand = network.scheduler.demand(report.station_id)
+                assert all(demand[u] > 0 for u in counts)
+        finally:
+            network.close()
+
+    def test_demanded_page_wins_next_allocation(self):
+        network = BroadcastNetwork(
+            NetworkConfig(n_stations=2, seed=9, **_FAST)
+        )
+        try:
+            name = network.regions[0].name
+            worst = int(np.argmin(network.scheduler._priors[name]))
+            network.scheduler.observe(name, {worst: 50})
+            allocations = network.scheduler.rebalance(0)
+            assert allocations[name][0][0] == worst
+        finally:
+            network.close()
+
+    def test_requests_outrank_any_demand_score(self):
+        network = BroadcastNetwork(NetworkConfig(n_stations=1, seed=0, **_FAST))
+        try:
+            name = network.regions[0].name
+            network.scheduler.observe(name, {0: 10_000})
+            allocations = network.scheduler.rebalance(0)
+            top_score = allocations[name][0][1]
+            assert top_score < REQUEST_PRIORITY / 1e3
+        finally:
+            network.close()
+
+    def test_shared_store_hits_across_stations(self):
+        # Same corpus, N stations: the first station to need a page
+        # encodes it; everyone else's epochs land store hits.
+        result = run_network(NetworkConfig(n_stations=3, seed=4, **_FAST))
+        solo = run_network(NetworkConfig(n_stations=1, seed=4, **_FAST))
+        assert result.store_hits > 0
+        assert result.store_misses > 0
+        # Sharing pays: three stations land proportionally more hits
+        # than one station's own allocation re-use alone.
+        assert result.store_hits / max(1, result.store_misses) > (
+            solo.store_hits / max(1, solo.store_misses)
+        )
+
+
+class TestRegistryDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=999),
+                st.sampled_from(["lahore", "karachi", "multan", "quetta"]),
+            ),
+            max_size=20,
+            unique_by=lambda e: e[0],
+        )
+    )
+    def test_same_add_sequence_iterates_identically(self, entries):
+        def build():
+            registry = TransmitterRegistry()
+            for call_sign, station in entries:
+                registry.add(_tx(f"tx-{call_sign}", station=station))
+            return registry
+
+        a, b = build(), build()
+        assert [t.station_id for t in a.all()] == [
+            t.station_id for t in b.all()
+        ]
+        assert a.station_ids() == b.station_ids()
+        # all() preserves add order; station_ids() first-add order.
+        assert [t.station_id for t in a.all()] == [
+            f"tx-{c}" for c, _ in entries
+        ]
+        seen: list[str] = []
+        for _, station in entries:
+            if station not in seen:
+                seen.append(station)
+        assert a.station_ids() == seen
+        for station in seen:
+            assert [t.station_id for t in a.for_station(station)] == [
+                f"tx-{c}" for c, s in entries if s == station
+            ]
+
+
+class TestRegionPartition:
+    def test_assign_picks_nearest(self):
+        partition = RegionPartition(
+            names=("lahore", "karachi"), centers=(_LAHORE, _KARACHI)
+        )
+        lats = np.array([_LAHORE.lat, _KARACHI.lat, 31.6])
+        lons = np.array([_LAHORE.lon, _KARACHI.lon, 74.4])
+        assert partition.assign(lats, lons).tolist() == [0, 1, 0]
+        assert partition.nearest(_KARACHI) == "karachi"
+
+    def test_rejects_mismatched_and_duplicate_names(self):
+        with pytest.raises(ValueError):
+            RegionPartition(names=("a",), centers=(_LAHORE, _KARACHI))
+        with pytest.raises(ValueError):
+            RegionPartition(names=("a", "a"), centers=(_LAHORE, _KARACHI))
+
+    def test_network_partition_matches_config_regions(self):
+        config = NetworkConfig(n_stations=3, **_FAST)
+        partition = network_partition(config)
+        assert partition.names == tuple(
+            r.name for r in config.resolved_regions()
+        )
+
+
+class TestNetworkCoverage:
+    def test_per_station_coverage_accounts_for_every_receiver(self):
+        config = NetworkConfig(n_stations=2, seed=6, **_FAST)
+        coverage = network_coverage(config, n_receivers=400)
+        names = [c.station for c in coverage]
+        assert names == [r.name for r in config.resolved_regions()]
+        total = sum(c.n_receivers for c in coverage)
+        assert total == 400  # every scattered listener attributed once
+        for cov in coverage:
+            assert cov.n_receivers > 0
+            assert 0.0 <= cov.mean_loss_rate <= 1.0
